@@ -1,0 +1,144 @@
+// Command pmbench regenerates the tables and figures of the PM-octree
+// paper's evaluation (§5). Each experiment id names a paper artifact:
+//
+//	pmbench table2     DRAM/NVBM characteristics (Table 2)
+//	pmbench writemix   write share of meshing memory accesses (§1)
+//	pmbench fig3       overlap ratio and memory per 1000 octants
+//	pmbench fig5       locality-oblivious vs aware layout writes
+//	pmbench fig6       weak scaling, three implementations
+//	pmbench fig7       weak-scaling routine breakdown
+//	pmbench fig8       strong scaling of PM-octree (+ breakdown)
+//	pmbench fig9       strong scaling, three implementations
+//	pmbench fig10      DRAM size configured for the C0 tree
+//	pmbench fig11      dynamic transformation on/off
+//	pmbench recovery   restart time after failures (§5.6)
+//	pmbench endurance  NVBM wear and lifetime, layout on/off (extension)
+//	pmbench workloads  the three motivating workloads on PM-octree (extension)
+//	pmbench all        everything above
+//
+// -paper selects the larger configuration (minutes, closer to the paper's
+// sweeps); the default finishes in seconds. -titan pushes the
+// weak-scaling sweep to the paper's 1000-processor point (slow; use with
+// fig6/fig7). -json emits machine-readable results for plotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pmoctree/internal/experiments"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run the large (paper-shaped) configuration")
+	titan := flag.Bool("titan", false, "weak-scale to 1000 simulated ranks (slow)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	sc := experiments.DefaultScale()
+	if *paper {
+		sc = experiments.PaperScale()
+	}
+	if *titan {
+		sc = experiments.TitanScale()
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"table2", "writemix", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "recovery", "endurance", "workloads"}
+	}
+	results := map[string]any{}
+	for _, id := range ids {
+		start := time.Now()
+		out, data, err := run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			results[strings.ToLower(id)] = data
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run executes one experiment, returning its formatted table and the
+// structured rows (for -json). Scaling experiments share results across
+// the figure pairs that reuse them.
+func run(id string, sc experiments.Scale) (string, any, error) {
+	switch strings.ToLower(id) {
+	case "table2":
+		rows := experiments.Table2()
+		return experiments.FormatTable2(rows), rows, nil
+	case "writemix":
+		res := experiments.WriteMix(sc)
+		return experiments.FormatWriteMix(res), res, nil
+	case "fig3":
+		rows := experiments.Fig3(sc)
+		return experiments.FormatFig3(rows), rows, nil
+	case "fig5":
+		res := experiments.Fig5()
+		return experiments.FormatFig5(res), res, nil
+	case "fig6":
+		pts := experiments.Fig6(sc)
+		return experiments.FormatScaling("Figure 6: weak scaling (1 jet per rank)", pts), pts, nil
+	case "fig7":
+		pts := experiments.Fig7Points(sc)
+		return experiments.FormatBreakdown("Figure 7: weak-scaling routine breakdown (PM-octree)", pts), pts, nil
+	case "fig8":
+		pts := experiments.Fig8(sc)
+		return experiments.FormatStrong(pts) +
+			experiments.FormatBreakdown("Figure 8(b): strong-scaling routine breakdown", pts), pts, nil
+	case "fig9":
+		pts := experiments.Fig9(sc)
+		return experiments.FormatScaling("Figure 9: strong scaling, three implementations", pts), pts, nil
+	case "fig10":
+		rows, ic, oc := experiments.Fig10(sc)
+		data := map[string]any{"rows": rows, "inCoreSeconds": ic, "outOfCoreSeconds": oc}
+		return experiments.FormatFig10(rows, ic, oc), data, nil
+	case "fig11":
+		rows := experiments.Fig11(sc)
+		return experiments.FormatFig11(rows), rows, nil
+	case "workloads":
+		rows := experiments.Workloads(sc)
+		return experiments.FormatWorkloads(rows), rows, nil
+	case "endurance":
+		rows := experiments.Endurance(sc)
+		return experiments.FormatEndurance(rows), rows, nil
+	case "recovery":
+		rows, err := experiments.Recovery(sc)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatRecovery(rows), rows, nil
+	default:
+		return "", nil, fmt.Errorf("unknown experiment %q (try: pmbench all)", id)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: pmbench [-paper|-titan] [-json] <experiment>...
+
+experiments: table2 writemix fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 recovery endurance workloads all
+`)
+}

@@ -1,0 +1,89 @@
+// Dambreak: a collapsing liquid column simulated with the real projection
+// solver (semi-Lagrangian advection + gravity + face-exact pressure
+// projection) on an adaptive octree mesh, with every step's fields
+// committed to NVBM through PM-octree — the full Gerris-style pipeline of
+// §4 in miniature: mesh adaptively, solve, persist, repeat.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"pmoctree"
+)
+
+func main() {
+	const (
+		maxLevel = 4
+		steps    = 12
+	)
+
+	// Mesh: refine the lower half (where the liquid acts), keep 2:1.
+	tree := pmoctree.Create(pmoctree.Config{DRAMBudgetOctants: 2048})
+	tree.RefineWhere(func(c pmoctree.Code) bool {
+		_, _, z := c.Center()
+		return z-c.Extent()/2 < 0.5
+	}, maxLevel)
+	tree.Balance()
+
+	sys, err := pmoctree.BuildPoisson(tree.LeafCodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := pmoctree.NewFlowState(sys)
+
+	// Initial condition: a liquid column in one corner.
+	for i := 0; i < sys.N(); i++ {
+		x, _, z := sys.Center(i)
+		if x < 0.3 && z < 0.5 {
+			st.VOF[i] = 1
+		}
+	}
+	fmt.Printf("dam break: %d cells, initial liquid volume %.4f\n", sys.N(), st.LiquidVolume())
+
+	for s := 1; s <= steps; s++ {
+		dt := math.Min(st.CFL()*0.5, 5e-3)
+		res, err := st.Step(dt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Commit the fields into the persistent octree: VOF, pressure,
+		// and vertical velocity per leaf.
+		byCode := map[pmoctree.Code][3]float64{}
+		for i, c := range sys.Codes() {
+			byCode[c] = [3]float64{st.VOF[i], st.P[i], st.W[i]}
+		}
+		tree.UpdateLeaves(func(c pmoctree.Code, d *[pmoctree.DataWords]float64) bool {
+			v := byCode[c]
+			d[0], d[1], d[3] = v[0], v[1], v[2]
+			return true
+		})
+		tree.Persist()
+
+		fmt.Printf("step %2d: dt=%.4f  CG iters=%3d  div defect=%.2e  liquid=%.4f  KE=%.5f\n",
+			s, dt, res.Iterations, st.FaceDivergenceDefect(), st.LiquidVolume(), st.KineticEnergy())
+	}
+
+	// The whole run is durable: prove it by restoring from the device.
+	restored, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: tree.NVBMDevice()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored committed state: %d elements at step %d\n",
+		restored.LeafCount(), restored.Step()-1)
+
+	// Export for visualization.
+	hm := pmoctree.Extract(restored.ForEachLeaf)
+	f, err := os.CreateTemp("", "dambreak-*.vtk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hm.WriteVTK(f, "dam break"); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("mesh + fields written to %s\n", f.Name())
+}

@@ -1,0 +1,67 @@
+// Quickstart: build an adaptive mesh on a PM-octree, commit it to NVBM,
+// crash, and restore — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmoctree"
+)
+
+func main() {
+	// A PM-octree lives on two emulated devices: volatile DRAM for the
+	// hot C0 tree and NVBM for everything persistent.
+	nv := pmoctree.NewNVBM()
+	dram := pmoctree.NewDRAM()
+	tree := pmoctree.Create(pmoctree.Config{
+		NVBMDevice:        nv,
+		DRAMDevice:        dram,
+		DRAMBudgetOctants: 1024,
+	})
+
+	// Refine around a spherical interface: an octant splits while its
+	// region might cross the sphere of radius 0.3 about the center.
+	surface := func(c pmoctree.Code) bool {
+		x, y, z := c.Center()
+		h := c.Extent() // conservative: within a cell size of the surface
+		d := (x-0.5)*(x-0.5) + (y-0.5)*(y-0.5) + (z-0.5)*(z-0.5)
+		lo, hi := 0.3-h, 0.3+h
+		if lo < 0 {
+			lo = 0
+		}
+		return d >= lo*lo && d <= hi*hi
+	}
+	tree.RefineWhere(surface, 5)
+	tree.Balance() // enforce the 2:1 constraint
+	fmt.Printf("meshed: %d elements\n", tree.LeafCount())
+
+	// Store a field on the leaves (word 0: distance to the center).
+	tree.UpdateLeaves(func(c pmoctree.Code, data *[pmoctree.DataWords]float64) bool {
+		x, y, z := c.Center()
+		data[0] = (x-0.5)*(x-0.5) + (y-0.5)*(y-0.5) + (z-0.5)*(z-0.5)
+		return true
+	})
+
+	// Commit: after Persist, the whole version is durable in NVBM; the
+	// commit point is a single 8-byte root store.
+	tree.Persist()
+	fmt.Printf("persisted version %d (%v)\n", tree.Step()-1, nv.Stats())
+
+	// Disaster strikes mid-step: new refinement is underway when the
+	// machine loses power. DRAM contents vanish; NVBM survives.
+	tree.RefineWhere(func(c pmoctree.Code) bool { return c.Level() < 2 }, 6)
+	dram.Crash()
+
+	// Restore from the surviving NVBM device: pm_restore returns the
+	// last committed version without moving any octant data.
+	restored, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: nv})
+	if err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	fmt.Printf("restored: %d elements at version %d\n", restored.LeafCount(), restored.Step()-1)
+	if err := restored.Validate(); err != nil {
+		log.Fatalf("validation: %v", err)
+	}
+	fmt.Println("restored tree validates: the committed version survived the crash intact")
+}

@@ -1,0 +1,3 @@
+module pmoctree
+
+go 1.22

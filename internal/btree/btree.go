@@ -1,0 +1,241 @@
+// Package btree implements the order-configurable B-tree that the
+// out-of-core Etree baseline uses to index octant pages by Z-value
+// (locational code). Following the Etree design (Tu, Lopez, O'Hallaron,
+// CMU-CS-03-174), the index maps a key to the id of the 4 KiB page holding
+// the octant's payload; every probe of the index is charged to the backing
+// device by the caller through the Touch callback, modeling index pages
+// that themselves live on the slow medium.
+package btree
+
+import "fmt"
+
+// Order is the maximum number of children per interior node. 2*Order keys
+// would not fit an index page in a real Etree; 64 is representative.
+const Order = 64
+
+// Tree is an in-memory B-tree of uint64 keys to int values with an access
+// callback for cost accounting.
+type Tree struct {
+	root *node
+	size int
+	// Touch, when non-nil, is invoked once per node visited by any
+	// operation, so the owner can charge index I/O to a device.
+	Touch func()
+}
+
+type node struct {
+	keys     []uint64
+	vals     []int   // leaf payloads, parallel to keys (leaves only)
+	children []*node // interior fan-out (len = len(keys)+1)
+	leaf     bool
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+func (t *Tree) touch() {
+	if t.Touch != nil {
+		t.Touch()
+	}
+}
+
+// Get returns the value for key and whether it exists.
+func (t *Tree) Get(key uint64) (int, bool) {
+	n := t.root
+	for {
+		t.touch()
+		i := search(n.keys, key)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == key {
+				return n.vals[i], true
+			}
+			return 0, false
+		}
+		if i < len(n.keys) && n.keys[i] == key {
+			i++ // equal keys route right
+		}
+		n = n.children[i]
+	}
+}
+
+// Put inserts or replaces the value for key.
+func (t *Tree) Put(key uint64, val int) {
+	r := t.root
+	if len(r.keys) >= 2*Order-1 {
+		nr := &node{children: []*node{r}}
+		nr.split(0)
+		t.root = nr
+	}
+	if t.insertNonFull(t.root, key, val) {
+		t.size++
+	}
+}
+
+// insertNonFull inserts into a node known to have room; reports whether a
+// new key was added (false on replace).
+func (t *Tree) insertNonFull(n *node, key uint64, val int) bool {
+	for {
+		t.touch()
+		i := search(n.keys, key)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == key {
+				n.vals[i] = val
+				return false
+			}
+			n.keys = append(n.keys, 0)
+			n.vals = append(n.vals, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = val
+			return true
+		}
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		child := n.children[i]
+		if len(child.keys) >= 2*Order-1 {
+			n.split(i)
+			if key >= n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// split divides the full child i of n around its median key.
+func (n *node) split(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	midKey := child.keys[mid]
+
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		// Leaves keep the median in the right sibling (B+-style).
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+	} else {
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key, reporting whether it existed. Underflowed nodes are
+// left lazy (Etree tolerates sparse index pages; rebalancing on delete is
+// not load-bearing for the experiments).
+func (t *Tree) Delete(key uint64) bool {
+	n := t.root
+	for {
+		t.touch()
+		i := search(n.keys, key)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == key {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				t.size--
+				return true
+			}
+			return false
+		}
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.children[i]
+	}
+}
+
+// Ascend visits keys in ascending order starting at >= from, until fn
+// returns false.
+func (t *Tree) Ascend(from uint64, fn func(key uint64, val int) bool) {
+	t.ascend(t.root, from, fn)
+}
+
+func (t *Tree) ascend(n *node, from uint64, fn func(uint64, int) bool) bool {
+	t.touch()
+	i := search(n.keys, from)
+	if n.leaf {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if i < len(n.keys) && n.keys[i] == from {
+		i++
+	}
+	for ; i < len(n.children); i++ {
+		if !t.ascend(n.children[i], from, fn) {
+			return false
+		}
+		if i < len(n.keys) {
+			from = n.keys[i]
+		}
+	}
+	return true
+}
+
+// Height returns the tree height (1 for a lone leaf); the per-lookup index
+// cost grows with it.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Validate checks B-tree ordering invariants; used by tests.
+func (t *Tree) Validate() error {
+	var last *uint64
+	ok := true
+	t.Ascend(0, func(k uint64, _ int) bool {
+		if last != nil && k < *last {
+			ok = false
+			return false
+		}
+		v := k
+		last = &v
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("btree: keys out of order")
+	}
+	n := 0
+	t.Ascend(0, func(uint64, int) bool { n++; return true })
+	if n != t.size {
+		return fmt.Errorf("btree: size %d but %d keys reachable", t.size, n)
+	}
+	return nil
+}
+
+// search returns the first index i with keys[i] >= key.
+func search(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

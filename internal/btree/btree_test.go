@@ -1,0 +1,230 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if tr.Delete(42) {
+		t.Error("Delete on empty tree reported success")
+	}
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d", tr.Height())
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	tr.Put(5, 50)
+	tr.Put(3, 30)
+	tr.Put(7, 70)
+	for k, want := range map[uint64]int{5: 50, 3: 30, 7: 70} {
+		if v, ok := tr.Get(k); !ok || v != want {
+			t.Errorf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Error("found absent key")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := New()
+	tr.Put(1, 10)
+	tr.Put(1, 11)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after replace", tr.Len())
+	}
+	if v, _ := tr.Get(1); v != 11 {
+		t.Errorf("Get = %d", v)
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Put(uint64(i), i*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("Height = %d; tree never split", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Get(uint64(i)); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomInsertDelete(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(3))
+	keys := r.Perm(5000)
+	for _, k := range keys {
+		tr.Put(uint64(k), k)
+	}
+	for _, k := range keys[:2500] {
+		if !tr.Delete(uint64(k)) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 2500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range keys[:2500] {
+		if _, ok := tr.Get(uint64(k)); ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+	for _, k := range keys[2500:] {
+		if _, ok := tr.Get(uint64(k)); !ok {
+			t.Fatalf("surviving key %d lost", k)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 {
+		tr.Put(uint64(i), i)
+	}
+	var got []uint64
+	tr.Ascend(31, func(k uint64, _ int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []uint64{32, 34, 36, 38, 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendFromExistingKey(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put(uint64(i), i)
+	}
+	var first uint64 = 999
+	tr.Ascend(25, func(k uint64, _ int) bool {
+		first = k
+		return false
+	})
+	if first != 25 {
+		t.Errorf("Ascend(25) started at %d", first)
+	}
+}
+
+func TestTouchAccounting(t *testing.T) {
+	tr := New()
+	touches := 0
+	tr.Touch = func() { touches++ }
+	for i := 0; i < 1000; i++ {
+		tr.Put(uint64(i), i)
+	}
+	touches = 0
+	tr.Get(500)
+	if touches < tr.Height() {
+		t.Errorf("Get touched %d nodes, height is %d", touches, tr.Height())
+	}
+	// Index cost grows with height: a lookup must touch at least one
+	// node per level.
+	if touches > tr.Height()+1 {
+		t.Errorf("Get touched %d nodes for height %d", touches, tr.Height())
+	}
+}
+
+// Property: the tree agrees with a reference map under random operations.
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(ops []struct {
+		Key uint64
+		Val int
+		Del bool
+	}) bool {
+		tr := New()
+		ref := map[uint64]int{}
+		for _, op := range ops {
+			k := op.Key % 512 // force collisions
+			if op.Del {
+				_, inRef := ref[k]
+				if tr.Delete(k) != inRef {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				tr.Put(k, op.Val)
+				ref[k] = op.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ascend(0) yields all keys in sorted order.
+func TestQuickAscendSorted(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tr := New()
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Put(k, 1)
+			uniq[k] = true
+		}
+		var want []uint64
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		tr.Ascend(0, func(k uint64, _ int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

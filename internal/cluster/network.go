@@ -1,0 +1,90 @@
+// Package cluster simulates the distributed execution of the meshing
+// pipeline across MPI-style ranks, reproducing the weak- and
+// strong-scaling experiments of §5.2-§5.3 at configurable scale.
+//
+// Each rank owns a contiguous interval of the space-filling curve (a
+// Z-order key range) and an independent octree instance (PM-octree,
+// in-core, or out-of-core) restricted to that interval. A step runs the
+// §2 routine sequence — Refine & Coarsen, Balance, Solve, Persist — on
+// every rank, then Partition recomputes the curve split from the global
+// leaf distribution and migrates ownership. Routine times combine three
+// deterministic components:
+//
+//   - memory time, accumulated by the emulated DRAM/NVBM devices;
+//   - compute time, operation counts priced by a CostModel;
+//   - communication time from an alpha-beta model of the Gemini
+//     interconnect (Titan's network).
+//
+// The step time of a bulk-synchronous routine is the maximum over ranks,
+// so load imbalance translates into lost time exactly as on a real
+// machine.
+package cluster
+
+import "math"
+
+// Network is an alpha-beta interconnect model: a message of n bytes costs
+// AlphaNs + n/BytesPerNs nanoseconds.
+type Network struct {
+	// AlphaNs is the per-message latency in nanoseconds.
+	AlphaNs float64
+	// BytesPerNs is the bandwidth in bytes per nanosecond (GB/s ~= B/ns).
+	BytesPerNs float64
+}
+
+// Gemini returns parameters representative of Titan's Gemini 3-D torus:
+// ~1.5 us MPI latency and ~5 GB/s per-link bandwidth.
+func Gemini() Network {
+	return Network{AlphaNs: 1500, BytesPerNs: 5}
+}
+
+// Transfer returns the modeled cost of one point-to-point message.
+func (n Network) Transfer(bytes int) float64 {
+	return n.AlphaNs + float64(bytes)/n.BytesPerNs
+}
+
+// Collective returns the modeled cost of a tree-based collective (e.g.
+// allreduce) over p ranks moving the given payload per stage.
+func (n Network) Collective(p int, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	stages := math.Ceil(math.Log2(float64(p)))
+	return stages * n.Transfer(bytes)
+}
+
+// Exchange returns the modeled cost of the splitter/ownership exchange of
+// the Partition routine, in which every rank communicates with every
+// other (the coordination term that makes Partition dominate at high rank
+// counts, Figure 7).
+func (n Network) Exchange(p int, bytesPerPeer int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * n.Transfer(bytesPerPeer)
+}
+
+// CostModel prices CPU work per meshing operation, in nanoseconds. The
+// defaults approximate per-octant costs of Gerris-style C code on a
+// ~2 GHz Opteron core.
+type CostModel struct {
+	RefineNs    float64 // per leaf split (geometry + allocation)
+	CoarsenNs   float64 // per sibling collapse
+	BalanceNs   float64 // per balance-induced split
+	SolveNs     float64 // per leaf field update (flux + interface evaluation)
+	TraverseNs  float64 // per leaf visited without modification
+	PartitionNs float64 // per owned leaf (key extraction + merge)
+	MigrateNs   float64 // per octant changing owner (pack, ship, rebuild)
+}
+
+// DefaultCost returns the calibrated model.
+func DefaultCost() CostModel {
+	return CostModel{
+		RefineNs:    2200,
+		CoarsenNs:   1800,
+		BalanceNs:   2600,
+		SolveNs:     950,
+		TraverseNs:  120,
+		PartitionNs: 250,
+		MigrateNs:   2600,
+	}
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+)
+
+// Config parameterizes one distributed simulation run.
+type Config struct {
+	// Ranks is the number of simulated processes.
+	Ranks int
+	// Impl selects the octree implementation.
+	Impl Impl
+	// MaxLevel bounds mesh refinement depth.
+	MaxLevel uint8
+	// Steps is the number of AMR time steps to run.
+	Steps int
+	// StartStep offsets the workload time (default 1).
+	StartStep int
+	// Jets is the number of nozzles (default: Ranks, one jet per rank —
+	// weak scaling adds jets with ranks).
+	Jets int
+	// DropletSteps is the nominal workload length (default 100).
+	DropletSteps int
+	// DRAMBudgetOctants is each rank's C0 capacity (PM-octree only).
+	DRAMBudgetOctants int
+	// DisableTransform turns off PM-octree's dynamic layout
+	// transformation (Figure 11's baseline).
+	DisableTransform bool
+	// Net is the interconnect model (zero value: Gemini).
+	Net Network
+	// Cost prices CPU work (zero value: DefaultCost).
+	Cost CostModel
+	// Workers bounds simulation parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed drives deterministic sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.Impl == "" {
+		c.Impl = PMOctree
+	}
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 4
+	}
+	if c.Steps <= 0 {
+		c.Steps = 3
+	}
+	if c.StartStep <= 0 {
+		c.StartStep = 1
+	}
+	if c.Jets <= 0 {
+		c.Jets = c.Ranks
+	}
+	if c.DropletSteps <= 0 {
+		c.DropletSteps = 100
+	}
+	if c.DRAMBudgetOctants <= 0 {
+		c.DRAMBudgetOctants = 512
+	}
+	if c.Net == (Network{}) {
+		c.Net = Gemini()
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCost()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// RoutineTimes records modeled nanoseconds per §2 routine. In a
+// bulk-synchronous step each routine's time is the maximum over ranks.
+type RoutineTimes struct {
+	RefineNs    float64
+	CoarsenNs   float64
+	BalanceNs   float64
+	SolveNs     float64
+	PartitionNs float64
+	PersistNs   float64
+}
+
+// TotalNs sums the routines.
+func (t RoutineTimes) TotalNs() float64 {
+	return t.RefineNs + t.CoarsenNs + t.BalanceNs + t.SolveNs + t.PartitionNs + t.PersistNs
+}
+
+// TotalSeconds converts to seconds.
+func (t RoutineTimes) TotalSeconds() float64 { return t.TotalNs() / 1e9 }
+
+// add accumulates o into t.
+func (t *RoutineTimes) add(o RoutineTimes) {
+	t.RefineNs += o.RefineNs
+	t.CoarsenNs += o.CoarsenNs
+	t.BalanceNs += o.BalanceNs
+	t.SolveNs += o.SolveNs
+	t.PartitionNs += o.PartitionNs
+	t.PersistNs += o.PersistNs
+}
+
+// Fractions returns each routine's share of the total, in the order
+// Refine, Coarsen, Balance, Solve, Partition, Persist (Figure 7/8(b)).
+func (t RoutineTimes) Fractions() [6]float64 {
+	tot := t.TotalNs()
+	if tot == 0 {
+		return [6]float64{}
+	}
+	return [6]float64{
+		t.RefineNs / tot, t.CoarsenNs / tot, t.BalanceNs / tot,
+		t.SolveNs / tot, t.PartitionNs / tot, t.PersistNs / tot,
+	}
+}
+
+// StepReport describes one completed step.
+type StepReport struct {
+	Step     int
+	Times    RoutineTimes
+	Elements int // global owned leaves after the step
+	MaxRank  int // most loaded rank's owned leaves
+	MinRank  int // least loaded rank's owned leaves
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Config   Config
+	Steps    []StepReport
+	Total    RoutineTimes
+	Elements int
+	NVBM     nvbm.Stats   // aggregated over ranks
+	PM       core.OpStats // aggregated PM-octree operation counters
+}
+
+// Run executes the distributed simulation and returns its report.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	d := sim.NewDroplet(sim.DropletConfig{Steps: cfg.DropletSteps, Jets: cfg.Jets})
+
+	ranks := make([]*rank, cfg.Ranks)
+	span := morton.Root
+	_, maxKey := span.KeySpan()
+	step := maxKey/uint64(cfg.Ranks) + 1
+	for i := range ranks {
+		ranks[i] = newRank(i, cfg.Impl, cfg.DRAMBudgetOctants, cfg.DisableTransform, cfg.Seed)
+		ranks[i].lo = uint64(i) * step
+		ranks[i].hi = uint64(i+1) * step
+		if i == cfg.Ranks-1 {
+			ranks[i].hi = maxKey + 1
+		}
+	}
+
+	res := Result{Config: cfg}
+	for s := cfg.StartStep; s < cfg.StartStep+cfg.Steps; s++ {
+		rep := runStep(cfg, d, ranks, s)
+		res.Total.add(rep.Times)
+		res.Steps = append(res.Steps, rep)
+		res.Elements = rep.Elements
+	}
+	for _, r := range ranks {
+		res.NVBM = res.NVBM.Add(r.nvbmStats())
+		if r.pm != nil {
+			s := r.pm.Stats()
+			res.PM.Refines += s.Refines
+			res.PM.Coarsens += s.Coarsens
+			res.PM.Copies += s.Copies
+			res.PM.Merges += s.Merges
+			res.PM.Persists += s.Persists
+			res.PM.GCs += s.GCs
+			res.PM.GCFreed += s.GCFreed
+			res.PM.Transforms += s.Transforms
+		}
+	}
+	return res
+}
+
+// perRank runs fn for every rank on a bounded worker pool and returns the
+// per-rank modeled times; the caller reduces with max (BSP semantics).
+func perRank(ranks []*rank, workers int, fn func(*rank) float64) []float64 {
+	out := make([]float64, len(ranks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, r := range ranks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, r *rank) {
+			defer wg.Done()
+			out[i] = fn(r)
+			<-sem
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+func maxOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// runStep advances all ranks through one bulk-synchronous AMR step.
+func runStep(cfg Config, d *sim.Droplet, ranks []*rank, s int) StepReport {
+	rep := StepReport{Step: s}
+	refine := d.RefinePred(s)
+	coarsen := d.CoarsenPred(s)
+	solve := d.Solve(s)
+
+	// Refine.
+	rep.Times.RefineNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		m0 := r.memNs()
+		visited := r.mesh.LeafCount()
+		n := r.mesh.RefineWhere(r.refinePred(refine), cfg.MaxLevel)
+		return r.memNs() - m0 + float64(n)*cfg.Cost.RefineNs + float64(visited)*cfg.Cost.TraverseNs
+	}))
+
+	// Coarsen.
+	rep.Times.CoarsenNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		m0 := r.memNs()
+		visited := r.mesh.LeafCount()
+		n := r.mesh.CoarsenWhere(r.coarsenPred(coarsen))
+		return r.memNs() - m0 + float64(n)*cfg.Cost.CoarsenNs + float64(visited)*cfg.Cost.TraverseNs
+	}))
+
+	// Balance: local pass per rank, then the distributed cross-boundary
+	// protocol (ghost exchange + ripple refinement across partitions).
+	rep.Times.BalanceNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		m0 := r.memNs()
+		visited := r.mesh.LeafCount()
+		n := r.mesh.Balance()
+		comm := cfg.Net.Transfer(r.surfaceLeafEstimate() * core.RecordSize)
+		return r.memNs() - m0 + float64(n)*cfg.Cost.BalanceNs + float64(visited)*cfg.Cost.TraverseNs + comm
+	}))
+	if cfg.Ranks > 1 {
+		_, _, globalNs := globalBalance(cfg, ranks)
+		rep.Times.BalanceNs += globalNs
+	}
+
+	// Solve on owned leaves: several relaxation sweeps per step.
+	rep.Times.SolveNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		m0 := r.memNs()
+		cpu := 0.0
+		for it := 0; it < sim.SolverSweeps; it++ {
+			owned := 0
+			n := r.mesh.UpdateLeaves(func(c morton.Code, data *[sim.DataWords]float64) bool {
+				if !r.ownsLeaf(c) {
+					return false
+				}
+				owned++
+				return solve(c, data)
+			})
+			r.ownedLeaves = owned
+			cpu += float64(n)*cfg.Cost.SolveNs + float64(owned)*cfg.Cost.TraverseNs
+		}
+		return r.memNs() - m0 + cpu
+	}))
+
+	// Persist per each implementation's policy.
+	rep.Times.PersistNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		m0 := r.memNs()
+		switch {
+		case r.pm != nil:
+			r.pm.SetFeatures(d.Feature(s + 1))
+			r.pm.Persist()
+		case r.incore != nil:
+			if err := r.incore.PersistStep(s); err != nil {
+				panic(err)
+			}
+		case r.etree != nil:
+			// The octant database is always consistent; nothing to do.
+		}
+		return r.memNs() - m0
+	}))
+
+	// Partition: rebalance the space-filling-curve split.
+	rep.Times.PartitionNs, rep.Elements, rep.MaxRank, rep.MinRank = partition(cfg, ranks)
+	return rep
+}
+
+// partition gathers the global owned-leaf key distribution, splits it
+// evenly, reassigns rank intervals, and models the communication: an
+// all-ranks splitter exchange plus migration of octants whose owner
+// changed.
+func partition(cfg Config, ranks []*rank) (ns float64, elements, maxRank, minRank int) {
+	perKeys := make([][]uint64, len(ranks))
+	perRank(ranks, cfg.Workers, func(r *rank) float64 {
+		perKeys[r.id] = r.ownedLeafKeys(nil)
+		return 0
+	})
+	var all []uint64
+	for _, k := range perKeys {
+		all = append(all, k...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	elements = len(all)
+	if elements == 0 {
+		return 0, 0, 0, 0
+	}
+
+	// New boundaries: equal leaf counts per rank.
+	p := len(ranks)
+	newLo := make([]uint64, p)
+	newHi := make([]uint64, p)
+	for i := 0; i < p; i++ {
+		a := i * elements / p
+		if i == 0 {
+			newLo[i] = 0
+		} else {
+			newLo[i] = all[a]
+		}
+		if i == p-1 {
+			newHi[i] = ^uint64(0)
+		} else {
+			b := (i + 1) * elements / p
+			newHi[i] = all[b]
+		}
+	}
+
+	// Migration volume: keys whose owning rank changed, charged as
+	// point-to-point octant transfers; coordination is an all-ranks
+	// splitter exchange.
+	moved := make([]int, p)
+	owner := func(lo, hi []uint64, k uint64) int {
+		return sort.Search(p, func(i int) bool { return k < hi[i] })
+	}
+	oldLo := make([]uint64, p)
+	oldHi := make([]uint64, p)
+	for i, r := range ranks {
+		oldLo[i], oldHi[i] = r.lo, r.hi
+	}
+	for _, k := range all {
+		was := owner(oldLo, oldHi, k)
+		now := owner(newLo, newHi, k)
+		if was != now && was < p && now < p {
+			moved[was]++
+			moved[now]++
+		}
+	}
+	maxMoved := 0
+	for _, m := range moved {
+		if m > maxMoved {
+			maxMoved = m
+		}
+	}
+
+	maxOwned := 0
+	minOwned := elements
+	for i, r := range ranks {
+		r.lo, r.hi = newLo[i], newHi[i]
+		if n := len(perKeys[i]); true {
+			if n > maxOwned {
+				maxOwned = n
+			}
+			if n < minOwned {
+				minOwned = n
+			}
+		}
+	}
+
+	perLeaf := float64(elements/p+1) * cfg.Cost.PartitionNs
+	ns = cfg.Net.Exchange(p, 64) +
+		cfg.Net.Transfer(maxMoved*core.RecordSize) +
+		float64(maxMoved)*cfg.Cost.MigrateNs +
+		perLeaf
+	return ns, elements, maxOwned, minOwned
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"pmoctree/internal/morton"
+)
+
+func TestAutoTunerGrowsUnderMergePressure(t *testing.T) {
+	tr := Create(Config{DRAMBudgetOctants: 32, ThresholdDRAM: 0.8})
+	tuner := NewAutoTuner(16, 4096)
+
+	// A mesh far larger than the budget forces evictions.
+	tr.RefineWhere(func(morton.Code) bool { return true }, 2)
+	tr.Persist()
+	tr.RefineWhere(sphere(0.5, 0.5, 0.5, 0.3, 0.25), 4)
+	if tr.Stats().Merges == 0 {
+		t.Fatal("workload produced no merge pressure")
+	}
+	tr.Persist()
+	before := tr.DRAMBudget()
+	after := tuner.Observe(tr)
+	if after <= before {
+		t.Errorf("budget did not grow under merge pressure: %d -> %d", before, after)
+	}
+	if tuner.Adjustments == 0 {
+		t.Error("no adjustment recorded")
+	}
+}
+
+func TestAutoTunerRespectsMax(t *testing.T) {
+	tr := Create(Config{DRAMBudgetOctants: 32, ThresholdDRAM: 0.8})
+	tuner := NewAutoTuner(16, 40)
+	tr.RefineWhere(func(morton.Code) bool { return true }, 2)
+	tr.RefineWhere(sphere(0.5, 0.5, 0.5, 0.3, 0.25), 4)
+	tr.Persist()
+	for i := 0; i < 5; i++ {
+		tr.RefineWhere(sphere(0.4, 0.4, 0.4, 0.3, 0.25), 4)
+		tr.Persist()
+		if got := tuner.Observe(tr); got > 40 {
+			t.Fatalf("budget %d exceeds max 40", got)
+		}
+	}
+}
+
+func TestAutoTunerShrinksWhenIdle(t *testing.T) {
+	tr := Create(Config{DRAMBudgetOctants: 4096})
+	tuner := NewAutoTuner(64, 8192)
+	// A tiny static mesh leaves DRAM almost empty.
+	tr.RefineWhere(func(c morton.Code) bool { return c.Level() < 1 }, 1)
+	tr.Persist()
+	start := tr.DRAMBudget()
+	var got int
+	for i := 0; i < tuner.IdleSteps; i++ {
+		tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+			d[0]++
+			return true
+		})
+		tr.Persist()
+		got = tuner.Observe(tr)
+	}
+	if got >= start {
+		t.Errorf("budget did not shrink when idle: %d -> %d", start, got)
+	}
+	if got < 64 {
+		t.Errorf("budget %d under min", got)
+	}
+}
+
+func TestAutoTunerStableInBand(t *testing.T) {
+	// Peak utilization between ShrinkBelow and the merge watermark: no
+	// changes expected. Probe the workload's natural peak first, then
+	// size the budget to land mid-band.
+	workload := func(tr *Tree) {
+		tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+			d[0]++
+			return true
+		})
+		tr.Persist()
+	}
+	probe := Create(Config{DRAMBudgetOctants: 100000})
+	probe.RefineWhere(sphere(0.5, 0.5, 0.5, 0.3, 0.2), 3)
+	probe.Persist()
+	workload(probe)
+	peakOctants := int(probe.LastPeakDRAMUtilization() * 100000)
+	if peakOctants == 0 {
+		t.Skip("degenerate probe")
+	}
+
+	tr := Create(Config{DRAMBudgetOctants: peakOctants * 3 / 2})
+	tuner := NewAutoTuner(16, 1<<20)
+	tr.RefineWhere(sphere(0.5, 0.5, 0.5, 0.3, 0.2), 3)
+	tr.Persist()
+	for i := 0; i < 4; i++ {
+		workload(tr)
+		util := tr.LastPeakDRAMUtilization()
+		if util >= tuner.ShrinkBelow {
+			before := tr.DRAMBudget()
+			if tuner.Observe(tr) != before {
+				t.Errorf("budget changed without pressure at peak util %.2f", util)
+			}
+		} else {
+			tuner.Observe(tr)
+		}
+	}
+}
+
+func TestSetDRAMBudgetClamp(t *testing.T) {
+	tr := Create(Config{})
+	tr.SetDRAMBudget(0)
+	if tr.DRAMBudget() != 1 {
+		t.Errorf("budget = %d, want clamp to 1", tr.DRAMBudget())
+	}
+}
+
+func TestAutoTunedSimulationStaysCorrect(t *testing.T) {
+	// End-to-end: the tuner must never break structural invariants.
+	tr := Create(Config{DRAMBudgetOctants: 32})
+	tuner := NewAutoTuner(16, 2048)
+	for s := 1; s <= 6; s++ {
+		tr.RefineWhere(sphere(0.3+float64(s)*0.05, 0.4, 0.5, 0.25, 0.2), 4)
+		tr.CoarsenWhere(func(c morton.Code) bool {
+			return !sphere(0.3+float64(s)*0.05, 0.4, 0.5, 0.25, 0.3)(c)
+		})
+		tr.Persist()
+		tuner.Observe(tr)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	if tuner.Adjustments == 0 {
+		t.Error("moving workload never adjusted the budget")
+	}
+}
+
+// TestKVersionRetentionAblation exercises DESIGN.md decision 2: keeping
+// only two versions bounds memory. Deferring GC (GCEvery=k) effectively
+// retains k superseded versions, and the expansion factor grows with k,
+// collapsing after the deferred sweep runs.
+func TestKVersionRetentionAblation(t *testing.T) {
+	run := func(gcEvery int) (peak float64) {
+		tr := Create(Config{GCEvery: gcEvery, Seed: 2})
+		for s := 0; s < 6; s++ {
+			// A moving interface rewrites a band of octants every step.
+			cx := 0.2 + 0.1*float64(s)
+			tr.RefineWhere(sphere(cx, 0.5, 0.5, 0.2, 0.15), 3)
+			tr.CoarsenWhere(func(c morton.Code) bool {
+				return !sphere(cx, 0.5, 0.5, 0.2, 0.35)(c)
+			})
+			tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+				if sphere(cx, 0.5, 0.5, 0.2, 0.15)(c) {
+					d[0] = cx
+					return true
+				}
+				return false
+			})
+			tr.Persist()
+			if e := tr.VersionStats().ExpansionFactor; e > peak {
+				peak = e
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return peak
+	}
+	every := run(1)
+	deferred := run(4)
+	if deferred <= every {
+		t.Errorf("4-version retention peak expansion %.2fx not above 2-version %.2fx",
+			deferred, every)
+	}
+	// Two-version discipline keeps expansion bounded near the paper's
+	// 1.98x worst case.
+	if every > 2.5 {
+		t.Errorf("2-version expansion peak %.2fx unexpectedly large", every)
+	}
+}

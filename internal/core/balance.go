@@ -1,0 +1,74 @@
+package core
+
+import "pmoctree/internal/morton"
+
+// Balance enforces the 2:1 constraint across faces on the working version,
+// exactly as the in-core baseline does, but through the PM-octree write
+// path: every refinement triggered by balancing is copy-on-write and
+// placed by the C0/C1 layout policy. Returns the number of refines.
+//
+// Violators are collected in batches: one scan finds every leaf with a
+// too-coarse face neighbor, all are refined, and the scan repeats until a
+// pass finds none (ripple refinement can create new violations one level
+// up).
+func (t *Tree) Balance() int {
+	refined := 0
+	for {
+		violators := t.findViolators()
+		if len(violators) == 0 {
+			return refined
+		}
+		for _, code := range violators {
+			if t.refineLeafIfPresent(code) {
+				refined++
+			}
+		}
+	}
+}
+
+// refineLeafIfPresent splits the leaf with exactly the given code,
+// returning false if it no longer exists as a leaf (an earlier refine in
+// the same batch may have split it).
+func (t *Tree) refineLeafIfPresent(code morton.Code) bool {
+	nr, ok := t.refineAtWalk(t.cur, code)
+	if !ok {
+		return false
+	}
+	t.cur = nr
+	t.maybeEvict()
+	return true
+}
+
+// findViolators scans leaves once and returns the distinct codes of
+// too-coarse neighbor leaves. Face neighbors inside a leaf's own parent
+// are siblings at the same level and can never violate, so only the
+// outward faces are probed.
+func (t *Tree) findViolators() []morton.Code {
+	seen := map[morton.Code]bool{}
+	var out []morton.Code
+	var scratch [6]morton.Code
+	t.ForEachNode(func(_ Ref, o *Octant) bool {
+		if !o.IsLeaf() || o.Code.Level() < 2 {
+			return true
+		}
+		parent := o.Code.Parent()
+		for _, ncode := range o.Code.FaceNeighbors(scratch[:0]) {
+			if ncode.Parent() == parent {
+				continue // sibling: same level by construction
+			}
+			_, leaf := t.FindLeaf(ncode)
+			if leaf.IsLeaf() && o.Code.Level()-leaf.Code.Level() > 1 && !seen[leaf.Code] {
+				seen[leaf.Code] = true
+				out = append(out, leaf.Code)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsBalanced reports whether the working version satisfies the 2:1 face
+// constraint.
+func (t *Tree) IsBalanced() bool {
+	return len(t.findViolators()) == 0
+}

@@ -1,0 +1,60 @@
+package core
+
+import "pmoctree/internal/pmem"
+
+// GC runs a mark-and-sweep collection over the NVBM arena (§3.2): it marks
+// every octant reachable from the committed root and the working root,
+// then frees every live NVBM slot left unmarked — octants that belonged
+// only to superseded versions, plus working-version octants unlinked by
+// coarsening (deferred deletion). It returns the number of slots freed.
+//
+// GC never touches octants reachable from the committed version, so it is
+// safe to crash at any point during collection: recovery re-marks from the
+// committed root and a re-run reclaims whatever remains.
+func (t *Tree) GC() int {
+	marked := make(map[pmem.Handle]bool)
+	t.mark(t.committed, marked)
+	if t.cur != t.committed {
+		t.mark(t.cur, marked)
+	}
+	freed := 0
+	for h := pmem.Handle(1); uint32(h) <= t.nv.HighWater(); h++ {
+		if t.nv.Live(h) && !marked[h] {
+			t.nv.Free(h)
+			freed++
+		}
+	}
+	t.stats.GCs++
+	t.stats.GCFreed += freed
+	t.stats.Deferred = 0
+	return freed
+}
+
+// mark walks the version rooted at r, recording reachable NVBM handles.
+// DRAM octants are traversed (they may reference NVBM children) but are
+// managed eagerly, not swept.
+func (t *Tree) mark(r Ref, marked map[pmem.Handle]bool) {
+	if r.IsNil() {
+		return
+	}
+	if !r.InDRAM() {
+		if marked[r.Handle()] {
+			return // shared subtree already visited
+		}
+		marked[r.Handle()] = true
+	}
+	o := t.readOct(r)
+	for _, c := range o.Children {
+		t.mark(c, marked)
+	}
+}
+
+// maybeGC triggers an on-demand collection when NVBM utilization crosses
+// its watermark (threshold_NVBM, §3.2). GC is suppressed while the tree is
+// mid-merge; here it runs only from batch-operation boundaries, which are
+// always consistent points.
+func (t *Tree) maybeGC() {
+	if t.cfg.NVBMBudgetOctants > 0 && t.nv.Utilization() >= t.cfg.ThresholdNVBM {
+		t.GC()
+	}
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+
+	"pmoctree/internal/morton"
+)
+
+// Find returns the ref of the working-version octant with exactly the
+// given code, or NilRef.
+func (t *Tree) Find(code morton.Code) Ref {
+	r := t.cur
+	level := code.Level()
+	for d := uint8(1); d <= level; d++ {
+		o := t.readOct(r)
+		r = o.Children[code.AncestorAt(d).ChildIndex()]
+		if r.IsNil() {
+			return NilRef
+		}
+	}
+	return r
+}
+
+// FindLeaf returns the deepest working-version octant containing code.
+func (t *Tree) FindLeaf(code morton.Code) (Ref, Octant) {
+	r := t.cur
+	o := t.readOct(r)
+	level := code.Level()
+	for d := uint8(1); d <= level; d++ {
+		next := o.Children[code.AncestorAt(d).ChildIndex()]
+		if next.IsNil() {
+			return r, o
+		}
+		r = next
+		o = t.readOct(r)
+	}
+	return r, o
+}
+
+// ForEachNode visits every working-version octant in Z-order pre-order.
+// Return false from fn to stop early.
+func (t *Tree) ForEachNode(fn func(r Ref, o *Octant) bool) {
+	t.walk(t.cur, fn)
+}
+
+// ForEachCommittedNode visits every octant of the committed version.
+func (t *Tree) ForEachCommittedNode(fn func(r Ref, o *Octant) bool) {
+	t.walk(t.committed, fn)
+}
+
+func (t *Tree) walk(r Ref, fn func(Ref, *Octant) bool) bool {
+	if r.IsNil() {
+		return true
+	}
+	o := t.readOct(r)
+	if !fn(r, &o) {
+		return false
+	}
+	for _, c := range o.Children {
+		if !c.IsNil() && !t.walk(c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachLeaf visits every working-version leaf in Z-order.
+func (t *Tree) ForEachLeaf(fn func(code morton.Code, data [DataWords]float64) bool) {
+	t.ForEachNode(func(r Ref, o *Octant) bool {
+		if o.IsLeaf() {
+			return fn(o.Code, o.Data)
+		}
+		return true
+	})
+}
+
+// ForEachLeafInRange visits working-version leaves whose keys fall in
+// [lo, hi), pruning entire subtrees whose key spans miss the interval —
+// the fast path for space-filling-curve partitioned ranks.
+func (t *Tree) ForEachLeafInRange(lo, hi uint64, fn func(code morton.Code, data [DataWords]float64) bool) {
+	t.rangeWalk(t.cur, lo, hi, fn)
+}
+
+func (t *Tree) rangeWalk(r Ref, lo, hi uint64, fn func(morton.Code, [DataWords]float64) bool) bool {
+	if r.IsNil() {
+		return true
+	}
+	o := t.readOct(r)
+	sLo, sHi := o.Code.KeySpan()
+	if sHi < lo || sLo >= hi {
+		return true // the whole subtree misses the interval
+	}
+	if o.IsLeaf() {
+		if k := o.Code.Key(); k >= lo && k < hi {
+			return fn(o.Code, o.Data)
+		}
+		return true
+	}
+	for _, c := range o.Children {
+		if !c.IsNil() && !t.rangeWalk(c, lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafCount returns the number of working-version leaves (mesh elements).
+func (t *Tree) LeafCount() int {
+	n := 0
+	t.ForEachLeaf(func(morton.Code, [DataWords]float64) bool { n++; return true })
+	return n
+}
+
+// NodeCount returns the number of working-version octants.
+func (t *Tree) NodeCount() int {
+	n := 0
+	t.ForEachNode(func(Ref, *Octant) bool { n++; return true })
+	return n
+}
+
+// LeafCodes returns the working-version leaf codes in Z-order.
+func (t *Tree) LeafCodes() []morton.Code {
+	var out []morton.Code
+	t.ForEachLeaf(func(c morton.Code, _ [DataWords]float64) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// Depth returns the maximum leaf level observed in the working version.
+func (t *Tree) Depth() uint8 {
+	var d uint8
+	t.ForEachNode(func(_ Ref, o *Octant) bool {
+		if l := o.Code.Level(); l > d {
+			d = l
+		}
+		return true
+	})
+	return d
+}
+
+// RefineWhere refines every working-version leaf for which pred holds,
+// recursively, until no leaf below maxLevel satisfies pred. New octants
+// inherit their parent's data. Returns the number of leaf splits.
+func (t *Tree) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	before := t.stats.Refines
+	nr, _ := t.refineWalk(t.cur, pred, maxLevel)
+	t.cur = nr
+	t.maybeEvict()
+	t.maybeGC()
+	return t.stats.Refines - before
+}
+
+// refineWalk recursively refines; returns the (possibly copied) ref and
+// whether it changed.
+func (t *Tree) refineWalk(r Ref, pred func(morton.Code) bool, maxLevel uint8) (Ref, bool) {
+	o := t.readOct(r)
+	if o.IsLeaf() {
+		if o.Code.Level() >= maxLevel || !pred(o.Code) {
+			return r, false
+		}
+		nr := t.splitLeaf(r, &o)
+		// The fresh children may refine further; they are working-version
+		// octants, so their refs cannot change.
+		for _, c := range o.Children {
+			t.refineWalk(c, pred, maxLevel)
+		}
+		return nr, nr != r
+	}
+	changed := false
+	var chIdx [8]bool
+	for i, c := range o.Children {
+		if c.IsNil() {
+			continue
+		}
+		nc, chg := t.refineWalk(c, pred, maxLevel)
+		if chg {
+			o.Children[i] = nc
+			chIdx[i] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return r, false
+	}
+	if t.inPlace(r, &o) {
+		t.writeChildren(r, &o)
+		t.reparentChanged(r, &o, &chIdx)
+		return r, false
+	}
+	nr := t.commitOctant(r, &o)
+	return nr, true
+}
+
+// splitLeaf creates the 8 children of the leaf at r (after making it
+// writable) and returns the leaf's (possibly copied) ref. o is updated to
+// the written state.
+func (t *Tree) splitLeaf(r Ref, o *Octant) Ref {
+	nr := r
+	if !t.inPlace(r, o) {
+		// Path copying handled by the caller splicing nr upward.
+		o.Version = t.step
+		nr = t.allocIn(t.placeRegion(o.Code))
+		t.stats.Copies++
+	}
+	for i := 0; i < 8; i++ {
+		child := Octant{
+			Code:    o.Code.Child(i),
+			Parent:  nr,
+			Data:    o.Data,
+			Version: t.step,
+		}
+		cr := t.allocIn(t.placeRegion(child.Code))
+		t.writeOct(cr, &child)
+		o.Children[i] = cr
+	}
+	t.writeOct(nr, o)
+	t.stats.Refines++
+	if d := o.Code.Level() + 1; d > t.depth {
+		t.depth = d
+	}
+	return nr
+}
+
+// RefineAt splits the leaf octant with exactly the given code. It is the
+// building block of Balance. It panics if code does not name a leaf.
+func (t *Tree) RefineAt(code morton.Code) {
+	nr, ok := t.refineAtWalk(t.cur, code)
+	if !ok {
+		panic(fmt.Sprintf("core: RefineAt(%v): not a working-version leaf", code))
+	}
+	t.cur = nr
+	t.maybeEvict()
+}
+
+func (t *Tree) refineAtWalk(r Ref, code morton.Code) (Ref, bool) {
+	o := t.readOct(r)
+	if o.Code == code {
+		if !o.IsLeaf() {
+			return r, false
+		}
+		return t.splitLeaf(r, &o), true
+	}
+	if !o.Code.IsAncestorOf(code) {
+		return r, false
+	}
+	idx := code.AncestorAt(o.Code.Level() + 1).ChildIndex()
+	c := o.Children[idx]
+	if c.IsNil() {
+		return r, false
+	}
+	nc, ok := t.refineAtWalk(c, code)
+	if !ok {
+		return r, false
+	}
+	if nc == c {
+		return r, true
+	}
+	o.Children[idx] = nc
+	if t.inPlace(r, &o) {
+		t.writeChildren(r, &o)
+		t.writeParentField(nc, r)
+		return r, true
+	}
+	return t.commitOctant(r, &o), true
+}
+
+// CoarsenWhere collapses sibling groups of leaves whose parent satisfies
+// pred, bottom-up, until stable within one pass. Child data is averaged
+// into the parent. Returns the number of collapses.
+func (t *Tree) CoarsenWhere(pred func(morton.Code) bool) int {
+	before := t.stats.Coarsens
+	nr, _, _ := t.coarsenWalk(t.cur, pred)
+	t.cur = nr
+	t.maybeEvict()
+	t.maybeGC()
+	return t.stats.Coarsens - before
+}
+
+// coarsenWalk returns (ref, refChanged, isLeafNow).
+func (t *Tree) coarsenWalk(r Ref, pred func(morton.Code) bool) (Ref, bool, bool) {
+	o := t.readOct(r)
+	if o.IsLeaf() {
+		return r, false, true
+	}
+	childrenChanged := false
+	allLeaves := true
+	var chIdx [8]bool
+	for i, c := range o.Children {
+		if c.IsNil() {
+			continue
+		}
+		nc, chg, leaf := t.coarsenWalk(c, pred)
+		if chg {
+			o.Children[i] = nc
+			chIdx[i] = true
+			childrenChanged = true
+		}
+		if !leaf {
+			allLeaves = false
+		}
+	}
+	if allLeaves && pred(o.Code) {
+		var sum [DataWords]float64
+		for i, c := range o.Children {
+			co := t.readOct(c)
+			for w := 0; w < DataWords; w++ {
+				sum[w] += co.Data[w]
+			}
+			t.discard(c, &co)
+			o.Children[i] = NilRef
+		}
+		for w := 0; w < DataWords; w++ {
+			o.Data[w] = sum[w] / 8
+		}
+		t.stats.Coarsens++
+		nr := t.commitOctant(r, &o)
+		return nr, nr != r, true
+	}
+	if !childrenChanged {
+		return r, false, false
+	}
+	if t.inPlace(r, &o) {
+		t.writeChildren(r, &o)
+		t.reparentChanged(r, &o, &chIdx)
+		return r, false, false
+	}
+	nr := t.commitOctant(r, &o)
+	return nr, true, false
+}
+
+// UpdateLeaves applies fn to every leaf; when fn reports a change, the new
+// data is stored copy-on-write. This is the solver's write path. Returns
+// the number of modified leaves.
+func (t *Tree) UpdateLeaves(fn func(code morton.Code, data *[DataWords]float64) bool) int {
+	changedLeaves := 0
+	nr, _ := t.updateWalk(t.cur, fn, &changedLeaves)
+	t.cur = nr
+	t.maybeEvict()
+	return changedLeaves
+}
+
+func (t *Tree) updateWalk(r Ref, fn func(morton.Code, *[DataWords]float64) bool, n *int) (Ref, bool) {
+	o := t.readOct(r)
+	if o.IsLeaf() {
+		if !fn(o.Code, &o.Data) {
+			return r, false
+		}
+		*n++
+		if t.inPlace(r, &o) {
+			t.writeDataField(r, &o)
+			return r, false
+		}
+		nr := t.commitOctant(r, &o)
+		return nr, true
+	}
+	changed := false
+	var chIdx [8]bool
+	for i, c := range o.Children {
+		if c.IsNil() {
+			continue
+		}
+		nc, chg := t.updateWalk(c, fn, n)
+		if chg {
+			o.Children[i] = nc
+			chIdx[i] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return r, false
+	}
+	if t.inPlace(r, &o) {
+		t.writeChildren(r, &o)
+		t.reparentChanged(r, &o, &chIdx)
+		return r, false
+	}
+	nr := t.commitOctant(r, &o)
+	return nr, true
+}
+
+// UpdateAt rewrites the data of the leaf containing code via fn,
+// copy-on-write. It returns false if code is not covered by a leaf...
+// (every location is covered; false only for out-of-tree refs).
+func (t *Tree) UpdateAt(code morton.Code, fn func(data *[DataWords]float64)) bool {
+	nr, ok := t.updateAtWalk(t.cur, code, fn)
+	if ok {
+		t.cur = nr
+	}
+	return ok
+}
+
+func (t *Tree) updateAtWalk(r Ref, code morton.Code, fn func(*[DataWords]float64)) (Ref, bool) {
+	o := t.readOct(r)
+	if o.IsLeaf() {
+		fn(&o.Data)
+		if t.inPlace(r, &o) {
+			t.writeDataField(r, &o)
+			return r, true
+		}
+		return t.commitOctant(r, &o), true
+	}
+	if o.Code.Level() >= code.Level() {
+		// An interior octant at or below the target depth: code does not
+		// name a leaf region in this tree.
+		return r, false
+	}
+	idx := code.AncestorAt(o.Code.Level() + 1).ChildIndex()
+	c := o.Children[idx]
+	if c.IsNil() {
+		return r, false
+	}
+	nc, ok := t.updateAtWalk(c, code, fn)
+	if !ok {
+		return r, false
+	}
+	if nc == c {
+		return r, true
+	}
+	o.Children[idx] = nc
+	if t.inPlace(r, &o) {
+		t.writeChildren(r, &o)
+		t.writeParentField(nc, r)
+		return r, true
+	}
+	return t.commitOctant(r, &o), true
+}

@@ -1,0 +1,74 @@
+// Package core implements PM-octree, the paper's primary contribution: a
+// persistent, multi-version octree resident in both DRAM and NVBM.
+//
+// Structure (Figure 2 of the paper):
+//
+//   - V(i-1), the last committed version, lives entirely in NVBM and is
+//     never mutated; it is the recovery point.
+//   - V(i), the working version, shares all unmodified octants with V(i-1).
+//     Its modified and new octants live either in the DRAM arena (the C0
+//     tree: hot subtrees plus the trunk above subtree level) or in the NVBM
+//     arena (the C1 tree: cold subtrees).
+//   - All mutations of shared octants are copy-on-write with path copying
+//     toward the root, so a consistent version always exists; the commit
+//     point of a time step is a single 8-byte root-pointer store.
+//
+// Region invariant: an NVBM-resident octant never references a
+// DRAM-resident octant. DRAM octants may reference NVBM octants. A crash
+// therefore loses only DRAM state, and everything reachable from the
+// persistent root remains closed and consistent.
+package core
+
+import (
+	"fmt"
+
+	"pmoctree/internal/pmem"
+)
+
+// Ref is a region-tagged reference to an octant: bit 31 selects the arena
+// (0 = NVBM, 1 = DRAM) and the low 31 bits are the pmem handle. The zero
+// Ref is nil. Refs are stable across process restarts for NVBM octants —
+// they are the "persistent pointers" a GC'd runtime cannot express with
+// native pointers.
+type Ref uint32
+
+// NilRef is the null octant reference.
+const NilRef Ref = 0
+
+const dramBit Ref = 1 << 31
+
+// makeRef builds a Ref from a region flag and an arena handle.
+func makeRef(inDRAM bool, h pmem.Handle) Ref {
+	if h == pmem.Nil {
+		return NilRef
+	}
+	r := Ref(h)
+	if r&dramBit != 0 {
+		panic(fmt.Sprintf("core: handle %d overflows the ref space", h))
+	}
+	if inDRAM {
+		r |= dramBit
+	}
+	return r
+}
+
+// IsNil reports whether r is the null reference.
+func (r Ref) IsNil() bool { return r&^dramBit == 0 }
+
+// InDRAM reports whether r points into the DRAM arena.
+func (r Ref) InDRAM() bool { return r&dramBit != 0 }
+
+// Handle returns the arena handle of r.
+func (r Ref) Handle() pmem.Handle { return pmem.Handle(r &^ dramBit) }
+
+// String renders the ref for diagnostics.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "nil"
+	}
+	region := "NV"
+	if r.InDRAM() {
+		region = "DR"
+	}
+	return fmt.Sprintf("%s:%d", region, r.Handle())
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pmoctree/internal/morton"
+)
+
+// subtreeInfo aggregates one candidate subtree (rooted at L_sub) during a
+// transformation pass.
+type subtreeInfo struct {
+	root    morton.Code
+	size    int // octants in the subtree
+	samples []sampled
+	seen    int // octants offered to the reservoir
+	freq    int // feature hits among samples (computed later)
+}
+
+type sampled struct {
+	code morton.Code
+	data [DataWords]float64
+}
+
+// SubtreeLevelFor computes L_sub by Equation 1 of the paper:
+//
+//	L_sub = Depth_octree - floor(log_Fanout(Size_DRAM))
+//
+// clamped to [1, depth]. Fanout is 8 for an octree; Size_DRAM is the C0
+// budget in octants.
+func SubtreeLevelFor(depth uint8, dramBudgetOctants int) uint8 {
+	if depth == 0 {
+		return 1
+	}
+	levels := 0
+	if dramBudgetOctants > 1 {
+		levels = int(math.Floor(math.Log(float64(dramBudgetOctants)) / math.Log(8)))
+	}
+	l := int(depth) - levels
+	if l < 1 {
+		l = 1
+	}
+	if l > int(depth) {
+		l = int(depth)
+	}
+	return uint8(l)
+}
+
+// packingFactor refines Equation 1 for subtree selection: candidate
+// subtrees are sized to ~1/4 of the C0 budget rather than the whole of it,
+// so several hot subtrees pack the budget instead of one subtree leaving
+// the rest idle. BenchmarkAblationPacking quantifies the choice.
+const packingFactor = 4
+
+// retarget recomputes L_sub and the hot subtree set after a persist (§3.3:
+// "dynamic transformation is only triggered after the completion of the
+// merging operations").
+func (t *Tree) retarget() {
+	if t.cfg.DisableTransform && t.trunk != nil {
+		// Transformation disabled: the layout chosen at the first
+		// persist stays frozen, however the access pattern moves —
+		// exactly the baseline of Figure 11.
+		return
+	}
+	infos, depth := t.collectSubtrees()
+	t.depth = depth
+	selBudget := t.cfg.DRAMBudgetOctants / packingFactor
+	if selBudget < 1 {
+		selBudget = 1
+	}
+	newLsub := SubtreeLevelFor(depth, selBudget)
+	if newLsub != t.lsub {
+		// Re-gather at the new subtree level.
+		t.lsub = newLsub
+		infos, _ = t.collectSubtrees()
+	}
+	oldHot := t.hot
+	if !t.cfg.DisableTransform && len(t.features) > 0 {
+		for i := range infos {
+			infos[i].freq = t.evalFrequency(&infos[i])
+		}
+		t.hot = t.selectHot(infos, oldHot)
+	} else {
+		t.hot = t.selectOblivious(infos)
+	}
+	for c := range t.hot {
+		if !oldHot[c] {
+			t.stats.Transforms++
+		}
+	}
+	// The trunk — ancestors of hot subtrees — stays in DRAM so hot-path
+	// descents never touch NVBM.
+	t.trunk = map[morton.Code]bool{}
+	for c := range t.hot {
+		for l := c.Level(); l > 0; l-- {
+			t.trunk[c.AncestorAt(l-1)] = true
+		}
+	}
+}
+
+// Retarget forces a layout transformation pass outside Persist; examples
+// and tests use it after installing feature functions.
+func (t *Tree) Retarget() { t.retarget() }
+
+// collectSubtrees walks the working version once, gathering per-subtree
+// sizes and reservoir samples at the current L_sub, and the tree depth.
+// The walk is instrumentation (the sampling pre-execution of §3.3 is
+// charged separately through evalFrequency's feature calls), so device
+// accounting is suspended.
+func (t *Tree) collectSubtrees() ([]subtreeInfo, uint8) {
+	t.setAccounting(false)
+	defer t.setAccounting(true)
+	byRoot := map[morton.Code]*subtreeInfo{}
+	var order []morton.Code
+	var depth uint8
+	t.ForEachNode(func(_ Ref, o *Octant) bool {
+		l := o.Code.Level()
+		if l > depth {
+			depth = l
+		}
+		var root morton.Code
+		switch {
+		case l < t.lsub && o.IsLeaf():
+			// A region coarser than L_sub is its own (single-octant)
+			// candidate subtree.
+			root = o.Code
+		case l < t.lsub:
+			// Trunk interior: not a candidate; residency follows the
+			// hot subtrees below it.
+			return true
+		default:
+			root = o.Code.AncestorAt(t.lsub)
+		}
+		info := byRoot[root]
+		if info == nil {
+			info = &subtreeInfo{root: root}
+			byRoot[root] = info
+			order = append(order, root)
+		}
+		info.size++
+		info.seen++
+		// Reservoir sampling: keep NSample uniform samples per subtree.
+		if len(info.samples) < t.cfg.NSample {
+			info.samples = append(info.samples, sampled{o.Code, o.Data})
+		} else if j := t.rng.Intn(info.seen); j < t.cfg.NSample {
+			info.samples[j] = sampled{o.Code, o.Data}
+		}
+		return true
+	})
+	infos := make([]subtreeInfo, 0, len(order))
+	for _, root := range order {
+		infos = append(infos, *byRoot[root])
+	}
+	return infos, depth
+}
+
+// evalFrequency pre-executes the feature functions on the subtree's
+// samples and returns the number of hits — the predicted access frequency
+// of §3.3, step 3.
+func (t *Tree) evalFrequency(info *subtreeInfo) int {
+	hits := 0
+	for _, s := range info.samples {
+		for _, f := range t.features {
+			if f(s.code, s.data) {
+				hits++
+				break
+			}
+		}
+	}
+	return hits
+}
+
+// selectHot picks the hot subtree set from frequency-ranked candidates.
+// When the previous hot set is still valid, a cold subtree displaces a hot
+// one only if its frequency exceeds T_transform times the hot one's —
+// hysteresis that avoids thrashing the layout (§3.3, step 4).
+func (t *Tree) selectHot(infos []subtreeInfo, oldHot map[morton.Code]bool) map[morton.Code]bool {
+	sort.SliceStable(infos, func(i, j int) bool {
+		if infos[i].freq != infos[j].freq {
+			return infos[i].freq > infos[j].freq
+		}
+		return infos[i].root.Less(infos[j].root)
+	})
+	budget := t.cfg.DRAMBudgetOctants
+	hot := map[morton.Code]bool{}
+	used := 0
+	for i := range infos {
+		in := &infos[i]
+		if used+in.size > budget {
+			continue
+		}
+		if in.freq == 0 && !oldHot[in.root] {
+			continue // never pull in subtrees with no predicted accesses
+		}
+		if !oldHot[in.root] {
+			// This subtree is in NVBM. It displaces DRAM residency only
+			// if Ratio_access exceeds T_transform against the weakest
+			// already-hot candidate that it is effectively displacing.
+			if w, ok := weakestOld(infos, oldHot, hot); ok {
+				ratio := float64(in.freq) / math.Max(float64(w), 1)
+				if ratio <= t.cfg.TTransform && w > 0 {
+					continue
+				}
+			}
+		}
+		hot[in.root] = true
+		used += in.size
+	}
+	return hot
+}
+
+// weakestOld returns the lowest frequency among previously-hot subtrees not
+// yet re-selected.
+func weakestOld(infos []subtreeInfo, oldHot, chosen map[morton.Code]bool) (int, bool) {
+	best := 0
+	found := false
+	for i := range infos {
+		if oldHot[infos[i].root] && !chosen[infos[i].root] {
+			if !found || infos[i].freq < best {
+				best = infos[i].freq
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// selectOblivious fills the DRAM budget with subtrees in Z-order,
+// regardless of access pattern — the locality-oblivious layout of
+// Figure 5(a), used when transformation is disabled.
+func (t *Tree) selectOblivious(infos []subtreeInfo) map[morton.Code]bool {
+	sort.SliceStable(infos, func(i, j int) bool { return infos[i].root.Less(infos[j].root) })
+	budget := t.cfg.DRAMBudgetOctants
+	hot := map[morton.Code]bool{}
+	used := 0
+	for i := range infos {
+		if used+infos[i].size > budget {
+			break
+		}
+		hot[infos[i].root] = true
+		used += infos[i].size
+	}
+	return hot
+}
+
+// setAccounting toggles latency/statistics accounting on both devices.
+func (t *Tree) setAccounting(on bool) {
+	t.cfg.DRAMDevice.SetAccounting(on)
+	t.cfg.NVBMDevice.SetAccounting(on)
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/pmem"
+)
+
+// Feature is an application-level predicate used by feature-directed
+// sampling (§3.3): it returns true when the octant's domain is of interest
+// (e.g. its refinement condition holds). PM-octree pre-executes these on
+// sampled octants to predict subtree access frequency.
+type Feature func(code morton.Code, data [DataWords]float64) bool
+
+// Config parameterizes a PM-octree.
+type Config struct {
+	// DRAMBudgetOctants is the C0 capacity in octants (the paper's
+	// "DRAM size configured for the C0 tree"). Default 4096.
+	DRAMBudgetOctants int
+	// NVBMBudgetOctants, when nonzero, triggers on-demand GC when NVBM
+	// utilization crosses ThresholdNVBM.
+	NVBMBudgetOctants int
+	// ThresholdDRAM is the C0 utilization high watermark above which the
+	// least-frequently-accessed hot subtree is merged out to C1.
+	// Default 0.9.
+	ThresholdDRAM float64
+	// ThresholdNVBM is the NVBM utilization high watermark for on-demand
+	// GC. Default 0.9.
+	ThresholdNVBM float64
+	// TTransform is the access-frequency ratio above which a hot NVBM
+	// subtree displaces a cold DRAM subtree (§3.3). Default 1.5.
+	TTransform float64
+	// NSample is the per-subtree sample budget; the paper uses
+	// min(100, subtree size). Default 100.
+	NSample int
+	// DisableTransform turns off feature-directed layout transformation;
+	// the hot set is then chosen obliviously in Z-order (Figure 5a).
+	DisableTransform bool
+	// WearLeveling selects FIFO slot recycling in the NVBM arena,
+	// rotating writes across freed slots to extend device lifetime at a
+	// small locality cost (extension; see pmbench endurance).
+	WearLeveling bool
+	// GCEvery runs the end-of-step collection only every k-th persist
+	// (default 1: every step, as the paper prescribes). Larger values
+	// effectively retain more superseded versions, trading memory for
+	// fewer sweeps — the k-version retention ablation of DESIGN.md.
+	GCEvery int
+	// Seed drives the deterministic sampling RNG.
+	Seed int64
+
+	// NVBMDevice, when set, is the persistent region to use (e.g. one
+	// reopened after a crash). Otherwise a fresh device is created.
+	NVBMDevice *nvbm.Device
+	// DRAMDevice, when set, backs the C0 arena. Otherwise created.
+	DRAMDevice *nvbm.Device
+}
+
+func (c Config) withDefaults() Config {
+	if c.DRAMBudgetOctants <= 0 {
+		c.DRAMBudgetOctants = 4096
+	}
+	if c.ThresholdDRAM <= 0 {
+		c.ThresholdDRAM = 0.9
+	}
+	if c.ThresholdNVBM <= 0 {
+		c.ThresholdNVBM = 0.9
+	}
+	if c.TTransform <= 0 {
+		c.TTransform = 1.5
+	}
+	if c.NSample <= 0 {
+		c.NSample = 100
+	}
+	if c.GCEvery <= 0 {
+		c.GCEvery = 1
+	}
+	if c.NVBMDevice == nil {
+		c.NVBMDevice = nvbm.New(nvbm.NVBM, 0)
+	}
+	if c.DRAMDevice == nil {
+		c.DRAMDevice = nvbm.New(nvbm.DRAM, 0)
+	}
+	return c
+}
+
+// Persistent root-table slots in the NVBM arena.
+const (
+	rootSlotAddr = 0 // ADDR of the committed version's root octant
+	rootSlotStep = 1 // step number of the committed version
+)
+
+// Tree is a PM-octree. It is not safe for concurrent use; in the
+// distributed simulation each rank owns one Tree.
+type Tree struct {
+	cfg  Config
+	dram *pmem.Arena // C0: hot subtrees + trunk of the working version
+	nv   *pmem.Arena // C1 + all committed octants
+
+	committed Ref    // root of V(i-1), always NVBM, never mutated
+	cur       Ref    // root of V(i), the working version
+	step      uint64 // working version number
+
+	// Layout state (§3.3).
+	lsub     uint8                  // subtree level L_sub (Eq. 1)
+	hot      map[morton.Code]bool   // hot subtree roots (C0 residents)
+	trunk    map[morton.Code]bool   // ancestors of hot roots (nil until first retarget)
+	access   map[morton.Code]uint64 // per-subtree access counts this step
+	features []Feature
+	rng      *rand.Rand
+	depth    uint8 // max leaf level observed
+
+	scratch [RecordSize]byte
+	stats   OpStats
+
+	// peakDRAMUtil tracks the highest C0 utilization seen during the
+	// current step; lastPeakDRAMUtil holds the previous step's peak
+	// (Persist rolls it over). The budget auto-tuner reads the latter:
+	// post-persist utilization is always ~0 because the merge drains C0.
+	peakDRAMUtil     float64
+	lastPeakDRAMUtil float64
+}
+
+// OpStats counts structural operations on the tree.
+type OpStats struct {
+	Refines    int // leaf splits
+	Coarsens   int // sibling-group collapses
+	Copies     int // COW octant copies
+	Merges     int // C0 subtree evictions to C1
+	Persists   int // committed versions
+	GCs        int // collection passes
+	GCFreed    int // octants reclaimed
+	Transforms int // subtree swaps by dynamic transformation
+	Deferred   int // NVBM octants awaiting GC (deferred deletion)
+}
+
+// Create builds a new PM-octree holding one root octant, commits it as the
+// first persistent version, and returns the tree (pm_create, Table 1).
+func Create(cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	t := &Tree{
+		cfg:    cfg,
+		dram:   pmem.NewArena(cfg.DRAMDevice, RecordSize),
+		nv:     pmem.NewArena(cfg.NVBMDevice, RecordSize),
+		step:   1,
+		hot:    map[morton.Code]bool{},
+		access: map[morton.Code]uint64{},
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+		lsub:   1,
+	}
+	t.dram.SetBudget(cfg.DRAMBudgetOctants)
+	if cfg.NVBMBudgetOctants > 0 {
+		t.nv.SetBudget(cfg.NVBMBudgetOctants)
+	}
+	t.nv.SetWearLeveling(cfg.WearLeveling)
+	root := Octant{Code: morton.Root, Version: 0}
+	r := t.allocIn(false)
+	t.writeOct(r, &root)
+	t.nv.SetRoot(rootSlotAddr, uint64(r))
+	t.nv.SetRoot(rootSlotStep, 0)
+	t.committed = r
+	t.cur = r
+	return t
+}
+
+// Restore reopens a PM-octree from an NVBM device that survived a crash or
+// restart (pm_restore, Table 1). The working version is reset to the last
+// committed version; octants reachable only from a lost working version
+// are reclaimed by the next GC pass, not here — restoring is
+// near-instantaneous because no octant data moves.
+func Restore(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	nv, err := pmem.OpenArena(cfg.NVBMDevice)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring PM-octree: %w", err)
+	}
+	if nv.SlotSize() != RecordSize {
+		return nil, fmt.Errorf("core: arena slot size %d does not hold octant records", nv.SlotSize())
+	}
+	root := Ref(nv.Root(rootSlotAddr))
+	if root.IsNil() || root.InDRAM() || !nv.Live(root.Handle()) {
+		return nil, fmt.Errorf("core: committed root %v is not a live NVBM octant", root)
+	}
+	t := &Tree{
+		cfg:       cfg,
+		dram:      pmem.NewArena(cfg.DRAMDevice, RecordSize),
+		nv:        nv,
+		committed: root,
+		cur:       root,
+		step:      nv.Root(rootSlotStep) + 1,
+		hot:       map[morton.Code]bool{},
+		access:    map[morton.Code]uint64{},
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		lsub:      1,
+	}
+	t.dram.SetBudget(cfg.DRAMBudgetOctants)
+	if cfg.NVBMBudgetOctants > 0 {
+		t.nv.SetBudget(cfg.NVBMBudgetOctants)
+	}
+	t.nv.SetWearLeveling(cfg.WearLeveling)
+	return t, nil
+}
+
+// Delete drops all octants in both regions (pm_delete, Table 1). The
+// tree is unusable afterwards; create a fresh one to continue.
+func (t *Tree) Delete() {
+	t.dram = pmem.NewArena(t.cfg.DRAMDevice, RecordSize)
+	t.nv = pmem.NewArena(t.cfg.NVBMDevice, RecordSize)
+	t.committed, t.cur = NilRef, NilRef
+	t.hot = map[morton.Code]bool{}
+	t.trunk = nil
+	t.access = map[morton.Code]uint64{}
+	t.depth = 0
+	t.lsub = 1
+}
+
+// SetFeatures installs the application feature functions used by
+// feature-directed sampling. Passing none disables sampling-based layout.
+func (t *Tree) SetFeatures(fs ...Feature) { t.features = fs }
+
+// Step returns the working version number.
+func (t *Tree) Step() uint64 { return t.step }
+
+// Root returns the working version's root ref.
+func (t *Tree) Root() Ref { return t.cur }
+
+// CommittedRoot returns the last committed version's root ref.
+func (t *Tree) CommittedRoot() Ref { return t.committed }
+
+// Stats returns operation counters.
+func (t *Tree) Stats() OpStats { return t.stats }
+
+// DRAMDevice returns the device backing C0.
+func (t *Tree) DRAMDevice() *nvbm.Device { return t.cfg.DRAMDevice }
+
+// NVBMDevice returns the persistent device.
+func (t *Tree) NVBMDevice() *nvbm.Device { return t.cfg.NVBMDevice }
+
+// SubtreeLevel returns the current L_sub (Eq. 1).
+func (t *Tree) SubtreeLevel() uint8 { return t.lsub }
+
+// HotSubtrees returns a copy of the hot subtree root set.
+func (t *Tree) HotSubtrees() map[morton.Code]bool {
+	out := make(map[morton.Code]bool, len(t.hot))
+	for c := range t.hot {
+		out[c] = true
+	}
+	return out
+}
+
+// --- low-level octant access ---
+
+func (t *Tree) arenaFor(r Ref) *pmem.Arena {
+	if r.InDRAM() {
+		return t.dram
+	}
+	return t.nv
+}
+
+// readOct loads the octant at r and records a subtree access.
+func (t *Tree) readOct(r Ref) Octant {
+	var o Octant
+	t.arenaFor(r).Read(r.Handle(), t.scratch[:])
+	o.decode(t.scratch[:])
+	t.touch(o.Code)
+	return o
+}
+
+// writeOct stores o at r.
+func (t *Tree) writeOct(r Ref, o *Octant) {
+	o.encode(t.scratch[:])
+	t.arenaFor(r).Write(r.Handle(), t.scratch[:])
+	t.touch(o.Code)
+}
+
+// writeChildren stores only the children field of o at r (a partial write,
+// cheaper than rewriting the record).
+func (t *Tree) writeChildren(r Ref, o *Octant) {
+	var buf [32]byte
+	for i := 0; i < 8; i++ {
+		putU32(buf[4*i:], uint32(o.Children[i]))
+	}
+	t.arenaFor(r).WriteField(r.Handle(), offChildren, buf[:])
+}
+
+// writeParentField stores only the parent field at r.
+func (t *Tree) writeParentField(r Ref, parent Ref) {
+	var buf [4]byte
+	putU32(buf[:], uint32(parent))
+	t.arenaFor(r).WriteField(r.Handle(), offParent, buf[:])
+}
+
+// writeDataField stores only the data array at r.
+func (t *Tree) writeDataField(r Ref, o *Octant) {
+	var buf [8 * DataWords]byte
+	for i := 0; i < DataWords; i++ {
+		putU64(buf[8*i:], f64bits(o.Data[i]))
+	}
+	t.arenaFor(r).WriteField(r.Handle(), offData, buf[:])
+}
+
+// writeFlagsField stores only the flags word at r.
+func (t *Tree) writeFlagsField(r Ref, flags uint32) {
+	var buf [4]byte
+	putU32(buf[:], flags)
+	t.arenaFor(r).WriteField(r.Handle(), offFlags, buf[:])
+}
+
+// readVersion loads only the version word at r.
+func (t *Tree) readVersion(r Ref) uint64 {
+	var buf [8]byte
+	t.arenaFor(r).ReadField(r.Handle(), offVersion, buf[:])
+	return getU64(buf[:])
+}
+
+// allocIn allocates an octant slot in the chosen region. The slot is not
+// zeroed: every caller immediately stores a full record into it.
+func (t *Tree) allocIn(inDRAM bool) Ref {
+	if inDRAM {
+		r := makeRef(true, t.dram.AllocRaw())
+		if u := t.dram.Utilization(); u > t.peakDRAMUtil {
+			t.peakDRAMUtil = u
+		}
+		return r
+	}
+	return makeRef(false, t.nv.AllocRaw())
+}
+
+// placeRegion decides where a new octant for code belongs: hot subtrees
+// and the trunk above them go to DRAM (C0); everything else goes to NVBM
+// (C1). Before the first layout pass (trunk == nil) all shallow octants
+// bootstrap into DRAM. When the DRAM budget is exhausted, placement falls
+// back to NVBM.
+func (t *Tree) placeRegion(code morton.Code) bool {
+	if t.dramFull() {
+		return false
+	}
+	if code.Level() < t.lsub {
+		if t.trunk == nil {
+			return true
+		}
+		return t.hot[code] || t.trunk[code]
+	}
+	return t.hot[code.AncestorAt(t.lsub)]
+}
+
+// dramFull reports whether the C0 arena has reached its hard capacity.
+// The watermark eviction of maybeEvict normally keeps utilization below
+// this; the cap only bites when the budget is smaller than the trunk.
+func (t *Tree) dramFull() bool {
+	b := t.dram.Budget()
+	return b > 0 && t.dram.LiveCount() >= b
+}
+
+// regionForCopy places a COW copy of an existing octant. It differs from
+// placeRegion in one safety rule: an octant with DRAM-resident children
+// must itself stay in DRAM, preserving the invariant that NVBM octants
+// never reference DRAM octants (a crash must never leave the persistent
+// graph pointing into lost memory).
+func (t *Tree) regionForCopy(o *Octant) bool {
+	for _, c := range o.Children {
+		if c.InDRAM() {
+			return true
+		}
+	}
+	return t.placeRegion(o.Code)
+}
+
+// inPlace reports whether the octant at r may be mutated in place: DRAM
+// octants always (C0 is never shared), NVBM octants only when created in
+// the working version (V(i-1) cannot reference them).
+func (t *Tree) inPlace(r Ref, o *Octant) bool {
+	return r.InDRAM() || o.Version == t.step
+}
+
+// isCurrent reports whether the octant at r belongs to the working
+// version's mutable set, reading only its version field.
+func (t *Tree) isCurrent(r Ref) bool {
+	return r.InDRAM() || t.readVersion(r) == t.step
+}
+
+// commitOctant stores the (modified) octant o, copying on write when r is
+// shared with the committed version. It returns the ref now holding o;
+// when that differs from r, the caller must splice it into the parent.
+func (t *Tree) commitOctant(r Ref, o *Octant) Ref {
+	if t.inPlace(r, o) {
+		t.writeOct(r, o)
+		return r
+	}
+	o.Version = t.step
+	nr := t.allocIn(t.regionForCopy(o))
+	t.writeOct(nr, o)
+	t.stats.Copies++
+	// Children created in the working version keep exact parent refs;
+	// shared children keep their V(i-1) parent (upward traversal is only
+	// defined within a version).
+	for _, c := range o.Children {
+		if !c.IsNil() && t.isCurrent(c) {
+			t.writeParentField(c, nr)
+		}
+	}
+	return nr
+}
+
+// reparentChanged repairs the parent field of children whose refs were
+// just spliced into the in-place parent at r: a COW copy carries the stale
+// parent ref of the shared octant it replaced.
+func (t *Tree) reparentChanged(r Ref, o *Octant, changed *[8]bool) {
+	for i, c := range o.Children {
+		if changed[i] && !c.IsNil() {
+			t.writeParentField(c, r)
+		}
+	}
+}
+
+// discard unlinks the octant at r from the working version: DRAM octants
+// are freed eagerly; working-version NVBM octants are marked deleted and
+// left for GC (deferred deletion, §3.2); shared octants are untouched —
+// they still belong to V(i-1).
+func (t *Tree) discard(r Ref, o *Octant) {
+	switch {
+	case r.InDRAM():
+		t.dram.Free(r.Handle())
+	case o.Version == t.step:
+		t.writeFlagsField(r, o.Flags|FlagDeleted)
+		t.stats.Deferred++
+	}
+}
+
+// touch records an access to the subtree containing code for LFA eviction
+// and access statistics.
+func (t *Tree) touch(code morton.Code) {
+	if code.Level() < t.lsub {
+		if t.hot[code] {
+			t.access[code]++
+		}
+		return
+	}
+	t.access[code.AncestorAt(t.lsub)]++
+}
+
+// --- little-endian helpers (avoiding binary import churn here) ---
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func getU64(b []byte) uint64 {
+	lo := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	hi := uint64(b[4]) | uint64(b[5])<<8 | uint64(b[6])<<16 | uint64(b[7])<<24
+	return lo | hi<<32
+}

@@ -1,0 +1,325 @@
+package etree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+)
+
+// sphereShell returns a region-intersection predicate for a spherical
+// interface band.
+func sphereShell(cx, cy, cz, rad, band float64) func(morton.Code) bool {
+	return func(c morton.Code) bool {
+		x, y, z := c.Center()
+		h := c.Extent() / 2
+		minD2, maxD2 := 0.0, 0.0
+		for _, p := range [3][2]float64{{x, cx}, {y, cy}, {z, cz}} {
+			lo, hi := p[0]-h, p[0]+h
+			d := 0.0
+			if p[1] < lo {
+				d = lo - p[1]
+			} else if p[1] > hi {
+				d = p[1] - hi
+			}
+			minD2 += d * d
+			far := p[1] - lo
+			if f := hi - p[1]; f > far {
+				far = f
+			}
+			maxD2 += far * far
+		}
+		lo, hi := rad-band, rad+band
+		if lo < 0 {
+			lo = 0
+		}
+		return minD2 <= hi*hi && maxD2 >= lo*lo
+	}
+}
+
+func TestNewHoldsRoot(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	if tr.LeafCount() != 1 {
+		t.Fatalf("LeafCount = %d", tr.LeafCount())
+	}
+	if !tr.Exists(morton.Root) {
+		t.Error("root missing")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineCoarsen(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	if !tr.Refine(morton.Root) {
+		t.Fatal("refine root failed")
+	}
+	if tr.LeafCount() != 8 {
+		t.Fatalf("LeafCount = %d", tr.LeafCount())
+	}
+	if tr.Exists(morton.Root) {
+		t.Error("linear octree kept interior node")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Coarsen(morton.Root) {
+		t.Fatal("coarsen failed")
+	}
+	if tr.LeafCount() != 1 {
+		t.Fatalf("LeafCount = %d after coarsen", tr.LeafCount())
+	}
+}
+
+func TestRefineMissingLeaf(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	if tr.Refine(morton.Root.Child(0)) {
+		t.Error("refined a nonexistent leaf")
+	}
+}
+
+func TestCoarsenIncompleteSiblings(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	tr.Refine(morton.Root)
+	tr.Refine(morton.Root.Child(0)) // children at mixed levels now
+	if tr.Coarsen(morton.Root) {
+		t.Error("coarsened with refined child present")
+	}
+}
+
+func TestDataInheritanceAndAveraging(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	tr.UpdateLeaves(func(_ morton.Code, d *[DataWords]float64) bool {
+		d[0] = 8
+		return true
+	})
+	tr.Refine(morton.Root)
+	d, ok := tr.get(morton.Root.Child(3))
+	if !ok || d[0] != 8 {
+		t.Errorf("child data = %v, %v", d, ok)
+	}
+	tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+		if c == morton.Root.Child(0) {
+			d[0] = 16
+			return true
+		}
+		return false
+	})
+	tr.Coarsen(morton.Root)
+	d, _ = tr.get(morton.Root)
+	if d[0] != 9 { // (7*8+16)/8
+		t.Errorf("averaged data = %v", d[0])
+	}
+}
+
+func TestFindLeaf(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	tr.Refine(morton.Root)
+	tr.Refine(morton.Root.Child(0))
+	leaf, ok := tr.FindLeaf(morton.Root.Child(0).Child(5).Child(2))
+	if !ok || leaf != morton.Root.Child(0).Child(5) {
+		t.Errorf("FindLeaf = %v, %v", leaf, ok)
+	}
+	leaf, ok = tr.FindLeaf(morton.Root.Child(7).Child(0))
+	if !ok || leaf != morton.Root.Child(7) {
+		t.Errorf("FindLeaf coarse = %v, %v", leaf, ok)
+	}
+}
+
+func TestRefineWhereAndValidate(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	pred := sphereShell(0.4, 0.4, 0.4, 0.25, 0.1)
+	n := tr.RefineWhere(pred, 4)
+	if n == 0 {
+		t.Fatal("nothing refined")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tr.LeafCodes() {
+		if pred(c) && c.Level() < 4 {
+			t.Fatalf("leaf %v satisfies pred below max level", c)
+		}
+	}
+}
+
+func TestCoarsenWhere(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	tr.RefineWhere(func(morton.Code) bool { return true }, 2)
+	if tr.LeafCount() != 64 {
+		t.Fatalf("leaves = %d", tr.LeafCount())
+	}
+	tr.CoarsenWhere(func(morton.Code) bool { return true })
+	if tr.LeafCount() != 1 {
+		t.Fatalf("leaves after coarsen = %d", tr.LeafCount())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalance26(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	// Center-adjacent deep refinement, unbalanced against (1,0,0)L1.
+	tr.Refine(morton.Root)
+	n := morton.Root.Child(0)
+	for i := 0; i < 3; i++ {
+		tr.Refine(n)
+		n = n.Child(7)
+	}
+	if tr.IsBalanced() {
+		t.Fatal("tree should start unbalanced")
+	}
+	if tr.Balance() == 0 {
+		t.Fatal("balance did nothing")
+	}
+	if !tr.IsBalanced() {
+		t.Fatal("still unbalanced")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceCostlierThanPointerOctree(t *testing.T) {
+	// The linear octree's balance must probe the index heavily — §5.4's
+	// explanation for why out-of-core balancing is slow.
+	dev := nvbm.New(nvbm.NVBM, 0)
+	tr := New(dev)
+	tr.RefineWhere(sphereShell(0.5, 0.5, 0.5, 0.3, 0.05), 4)
+	before := dev.Stats()
+	tr.Balance()
+	delta := dev.Stats().Sub(before)
+	if delta.Reads < uint64(tr.LeafCount()*26) {
+		t.Errorf("balance read %d pages for %d leaves; expected >= 26 probes/leaf",
+			delta.Reads, tr.LeafCount())
+	}
+}
+
+func TestPagedIOCharging(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	tr := New(dev)
+	before := dev.Stats()
+	tr.UpdateLeaves(func(_ morton.Code, d *[DataWords]float64) bool {
+		d[0] = 1
+		return true
+	})
+	delta := dev.Stats().Sub(before)
+	// Updating one 40-byte record must move whole pages.
+	if delta.WriteBytes < 4096 {
+		t.Errorf("update wrote %d bytes; expected a full page", delta.WriteBytes)
+	}
+}
+
+func TestOpenRebuildsIndex(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	tr := New(dev)
+	tr.RefineWhere(sphereShell(0.3, 0.6, 0.5, 0.2, 0.1), 3)
+	tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+		d[1] = float64(c.Level())
+		return true
+	})
+	want := map[morton.Code][DataWords]float64{}
+	tr.ForEachLeaf(func(c morton.Code, d [DataWords]float64) bool {
+		want[c] = d
+		return true
+	})
+
+	// Crash: the in-memory index is lost; the device survives.
+	re, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.LeafCount() != len(want) {
+		t.Fatalf("reopened %d leaves, want %d", re.LeafCount(), len(want))
+	}
+	re.ForEachLeaf(func(c morton.Code, d [DataWords]float64) bool {
+		if want[c] != d {
+			t.Fatalf("leaf %v data %v, want %v", c, d, want[c])
+		}
+		return true
+	})
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// And it stays writable.
+	re.RefineWhere(func(c morton.Code) bool { return c.Level() < 1 }, 1)
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyDeviceFails(t *testing.T) {
+	if _, err := Open(nvbm.New(nvbm.NVBM, 0)); err == nil {
+		t.Error("expected error opening empty device")
+	}
+}
+
+func TestManyPagesAllocation(t *testing.T) {
+	tr := New(nvbm.New(nvbm.NVBM, 0))
+	tr.RefineWhere(func(morton.Code) bool { return true }, 3) // 512 leaves
+	if tr.LeafCount() != 512 {
+		t.Fatalf("leaves = %d", tr.LeafCount())
+	}
+	if tr.store.Pages() < 512/PageCapacity {
+		t.Errorf("pages = %d, too few for %d records", tr.store.Pages(), 512)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random refine/coarsen sequences keep the leaf set a perfect
+// tiling of the domain, matching the behavior of the pointer octree.
+func TestQuickTilingInvariant(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(nvbm.New(nvbm.NVBM, 0))
+		for _, op := range ops {
+			pred := sphereShell(r.Float64(), r.Float64(), r.Float64(), 0.2, 0.15)
+			if op%2 == 0 {
+				tr.RefineWhere(pred, 3)
+			} else {
+				tr.CoarsenWhere(pred)
+			}
+			if tr.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reopening after any build sequence reproduces the same leaves.
+func TestQuickReopenIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dev := nvbm.New(nvbm.NVBM, 0)
+		tr := New(dev)
+		tr.RefineWhere(sphereShell(r.Float64(), r.Float64(), r.Float64(), 0.3, 0.1), 3)
+		want := tr.LeafCodes()
+		re, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		got := re.LeafCodes()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"pmoctree/internal/cluster"
+)
+
+// table builds an aligned text table.
+func table(fn func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fn(w)
+	w.Flush()
+	return sb.String()
+}
+
+// FormatTable2 renders the memory-characteristics table.
+func FormatTable2(rows []Table2Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table 2: DRAM and NVBM characteristics (emulation model)")
+		fmt.Fprintln(w, "metric\tDRAM\tNVBM")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", r.Metric, r.DRAM, r.NVBM)
+		}
+	})
+}
+
+// FormatWriteMix renders the §1 write-fraction statistic.
+func FormatWriteMix(res WriteMixResult) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Write share of memory accesses during meshing (§1: up to 72%, avg 41%)")
+		fmt.Fprintln(w, "step\twrite fraction")
+		for i, f := range res.PerStep {
+			fmt.Fprintf(w, "%d\t%.1f%%\n", i+1, f*100)
+		}
+		fmt.Fprintf(w, "average\t%.1f%%\n", res.Avg*100)
+		fmt.Fprintf(w, "max\t%.1f%%\n", res.Max*100)
+	})
+}
+
+// FormatFig3 renders the overlap/memory trace.
+func FormatFig3(rows []Fig3Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 3: octant overlap of V(i-1)/V(i) and memory per 1000 octants")
+		fmt.Fprintln(w, "step\toctants\toverlap\tbytes/1k octants\texpansion")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.0f\t%.2fx\n",
+				r.Step, r.Octants, r.Overlap*100, r.MemPerK, r.Expansion)
+		}
+	})
+}
+
+// FormatFig5 renders the layout-comparison result.
+func FormatFig5(res Fig5Result) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 5: NVBM writes under locality-oblivious vs locality-aware layout")
+		fmt.Fprintln(w, "layout\tNVBM writes")
+		fmt.Fprintf(w, "oblivious (Fig 5a)\t%d\n", res.ObliviousWrites)
+		fmt.Fprintf(w, "aware (Fig 5b)\t%d\n", res.AwareWrites)
+		fmt.Fprintf(w, "extra writes from oblivious layout\t%.0f%% (paper: ~89%%)\n", res.ExtraFraction*100)
+	})
+}
+
+// FormatScaling renders a weak/strong scaling table across implementations.
+func FormatScaling(title string, points []ScalePoint) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, title)
+		fmt.Fprintln(w, "ranks\telements\tin-core (s)\tpm-octree (s)\tout-of-core (s)")
+		for _, p := range points {
+			ic, pm, oc := p.Seconds[cluster.InCore], p.Seconds[cluster.PMOctree], p.Seconds[cluster.OutOfCore]
+			fmt.Fprintf(w, "%d\t%d\t%s\t%.3f\t%s\n",
+				p.Ranks, p.Elements, maybeSecs(ic), pm, maybeSecs(oc))
+		}
+	})
+}
+
+func maybeSecs(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// FormatBreakdown renders per-routine fractions (Figures 7, 8b).
+func FormatBreakdown(title string, points []ScalePoint) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, title)
+		fmt.Fprintln(w, "ranks\telements\trefine\tcoarsen\tbalance\tsolve\tpartition\tpersist")
+		for _, p := range points {
+			f := p.Breakdown.Fractions()
+			fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+				p.Ranks, p.Elements, f[0]*100, f[1]*100, f[2]*100, f[3]*100, f[4]*100, f[5]*100)
+		}
+	})
+}
+
+// FormatStrong renders the PM-octree strong-scaling run with ideal
+// speedup (Figure 8a).
+func FormatStrong(points []ScalePoint) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 8(a): strong scaling of PM-octree (fixed problem size)")
+		fmt.Fprintln(w, "ranks\telements\ttime (s)\tspeedup\tideal")
+		if len(points) == 0 {
+			return
+		}
+		base := points[0]
+		baseT := base.Seconds[cluster.PMOctree]
+		for _, p := range points {
+			t := p.Seconds[cluster.PMOctree]
+			speedup := 0.0
+			if t > 0 {
+				speedup = baseT / t
+			}
+			ideal := float64(p.Ranks) / float64(base.Ranks)
+			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.2fx\t%.2fx\n", p.Ranks, p.Elements, t, speedup, ideal)
+		}
+	})
+}
+
+// FormatFig10 renders the DRAM-size sweep.
+func FormatFig10(rows []Fig10Row, inCoreSecs, outOfCoreSecs float64) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 10: impact of the DRAM size configured for the C0 tree")
+		fmt.Fprintln(w, "C0 budget (octants)\ttime (s)\tC0/C1 merges\telements")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.3f\t%d\t%d\n", r.BudgetOctants, r.Seconds, r.Merges, r.Elements)
+		}
+		fmt.Fprintf(w, "in-core reference\t%.3f\t-\t-\n", inCoreSecs)
+		fmt.Fprintf(w, "out-of-core reference\t%.3f\t-\t-\n", outOfCoreSecs)
+	})
+}
+
+// FormatFig11 renders the dynamic-transformation sweep.
+func FormatFig11(rows []Fig11Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 11: execution time without/with dynamic transformation")
+		fmt.Fprintln(w, "max level\telements\toff (s)\ton (s)\ttime cut\tNVBM writes off\ton\twrite cut")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\t%.1f%%\t%d\t%d\t%.1f%%\n",
+				r.MaxLevel, r.Elements, r.SecondsOff, r.SecondsOn, r.TimeReduction*100,
+				r.WritesOff, r.WritesOn, r.WriteReduction*100)
+		}
+	})
+}
+
+// FormatRecovery renders the §5.6 restart comparison.
+func FormatRecovery(rows []RecoveryRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "§5.6: time to restart the simulation after a failure")
+		fmt.Fprintln(w, "implementation\tscenario\trecovered\trestart (ms)\treplica move (ms)\tsteps lost")
+		for _, r := range rows {
+			scen := "same node"
+			if !r.SameNode {
+				scen = "new node"
+			}
+			if !r.Report.Recovered {
+				fmt.Fprintf(w, "%s\t%s\tNO\t-\t-\t-\n", r.Impl, scen)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\tyes\t%.4f\t%.4f\t%d\n",
+				r.Impl, scen, r.Report.RestartNs/1e6, r.Report.ReplicaMoveNs/1e6, r.Report.StepsLost)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pmoctree/internal/solver"
+)
+
+func TestDebugProjection(t *testing.T) {
+	sys := uniformSystem(t, 3)
+	st := NewState(sys)
+	st.Gravity = 0
+	n := sys.N()
+	for i := 0; i < n; i++ {
+		x, y, z := sys.Center(i)
+		st.U[i] = math.Sin(math.Pi * x)
+		st.V[i] = math.Sin(math.Pi * y)
+		st.W[i] = math.Sin(math.Pi * z)
+	}
+	div := make([]float64, n)
+	sys.Divergence(st.U, st.V, st.W, div)
+	fmt.Println("max |div u*|:", maxAbs2(div))
+
+	dt := 1e-3
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = -div[i] / dt
+	}
+	p := make([]float64, n)
+	res, err := sys.Solve(b, p, solver.Options{Tol: 1e-10})
+	fmt.Println("solve:", res, err)
+
+	// Check A p = V b residual.
+	ap := make([]float64, n)
+	sys.Apply(p, ap)
+	worst := 0.0
+	for i := range ap {
+		e := sys.Extent(i)
+		r := ap[i] - b[i]*e*e*e
+		if math.Abs(r) > worst {
+			worst = math.Abs(r)
+		}
+	}
+	fmt.Println("max |Ap - Vb|:", worst)
+
+	// D(G(p)) vs lap p = -b: compare dt*D(G p) against -div.
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	gz := make([]float64, n)
+	sys.Gradient(p, gx, gy, gz)
+	dg := make([]float64, n)
+	sys.Divergence(gx, gy, gz, dg)
+	// expected: dg approx lap p = -b = div/dt, so dt*dg approx div.
+	worst = 0.0
+	var sgn float64
+	for i := range dg {
+		r := dt*dg[i] - div[i]
+		if math.Abs(r) > worst {
+			worst = math.Abs(r)
+			sgn = dt * dg[i] / div[i]
+		}
+	}
+	fmt.Println("max |dt*D(Gp) - div|:", worst, "ratio at worst:", sgn)
+}
+
+func maxAbs2(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

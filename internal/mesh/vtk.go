@@ -1,0 +1,62 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVTK serializes the mesh as a legacy-format VTK unstructured grid
+// (ASCII), the lingua franca of scientific visualization tools — §2's
+// Extract routine exists to feed exactly such pipelines. Elements become
+// VTK_HEXAHEDRON cells; cell data carries the octant fields and the
+// octree level, point data carries the anchored/dangling classification.
+func (m *Mesh) WriteVTK(w io.Writer, title string) error {
+	bw := bufio.NewWriter(w)
+	if title == "" {
+		title = "pmoctree extracted mesh"
+	}
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n%s\nASCII\nDATASET UNSTRUCTURED_GRID\n", title)
+
+	fmt.Fprintf(bw, "POINTS %d double\n", len(m.Vertices))
+	for _, v := range m.Vertices {
+		fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+	}
+
+	fmt.Fprintf(bw, "CELLS %d %d\n", len(m.Elements), len(m.Elements)*9)
+	for _, el := range m.Elements {
+		// VTK hexahedron corner order: bottom face CCW, then top face
+		// CCW. Our corners are x-fastest: 0..7 = (x,y,z) bits.
+		o := el.Verts
+		fmt.Fprintf(bw, "8 %d %d %d %d %d %d %d %d\n",
+			o[0], o[1], o[3], o[2], o[4], o[5], o[7], o[6])
+	}
+
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", len(m.Elements))
+	for range m.Elements {
+		fmt.Fprintln(bw, 12) // VTK_HEXAHEDRON
+	}
+
+	fmt.Fprintf(bw, "CELL_DATA %d\n", len(m.Elements))
+	fmt.Fprintln(bw, "SCALARS level int 1\nLOOKUP_TABLE default")
+	for _, el := range m.Elements {
+		fmt.Fprintln(bw, el.Code.Level())
+	}
+	for f := 0; f < DataWords; f++ {
+		fmt.Fprintf(bw, "SCALARS field%d double 1\nLOOKUP_TABLE default\n", f)
+		for _, el := range m.Elements {
+			fmt.Fprintf(bw, "%g\n", el.Data[f])
+		}
+	}
+
+	fmt.Fprintf(bw, "POINT_DATA %d\n", len(m.Vertices))
+	fmt.Fprintln(bw, "SCALARS dangling int 1\nLOOKUP_TABLE default")
+	for _, v := range m.Vertices {
+		if v.Kind == Dangling {
+			fmt.Fprintln(bw, 1)
+		} else {
+			fmt.Fprintln(bw, 0)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,52 @@
+package morton
+
+import "testing"
+
+// FuzzCodeRoundTrip exercises decode/re-encode and the derived operations
+// on arbitrary 64-bit patterns masked into valid codes.
+func FuzzCodeRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1<<63 - 1))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		// Mask into a valid code: clamp the level and the morton bits.
+		level := uint8(raw % (MaxLevel + 1))
+		lim := uint32(1) << level
+		x := uint32(raw>>6) % lim
+		y := uint32(raw>>27) % lim
+		z := uint32(raw>>45) % lim
+		c := Encode(x, y, z, level)
+
+		gx, gy, gz, gl := c.Decode()
+		if gx != x || gy != y || gz != z || gl != level {
+			t.Fatalf("decode mismatch: (%d,%d,%d,%d) != (%d,%d,%d,%d)", gx, gy, gz, gl, x, y, z, level)
+		}
+		if FromKey(c.Key()) != c {
+			t.Fatal("key round trip failed")
+		}
+		lo, hi := c.KeySpan()
+		if k := c.Key(); k < lo || k > hi {
+			t.Fatal("own key outside key span")
+		}
+		if level > 0 {
+			p := c.Parent()
+			if !p.IsAncestorOf(c) {
+				t.Fatal("parent not ancestor")
+			}
+			plo, phi := p.KeySpan()
+			if lo < plo || hi > phi {
+				t.Fatal("child span escapes parent span")
+			}
+			if p.Child(c.ChildIndex()) != c {
+				t.Fatal("parent/child/index inconsistent")
+			}
+		}
+		if level < MaxLevel {
+			for i := 0; i < 8; i++ {
+				if c.Child(i).Parent() != c {
+					t.Fatalf("child %d parent mismatch", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,316 @@
+// Package nvbm emulates byte-addressable memory devices with distinct
+// performance characteristics: volatile DRAM and non-volatile
+// byte-addressable memory (NVBM) such as PCM or STT-MRAM.
+//
+// The emulation follows the methodology of the PM-octree paper (SC '17,
+// §5.1): the device is ordinary process memory, and NVBM latency is modeled
+// per access. Two modeling modes are available and may be combined:
+//
+//   - Accounting mode (always on): every access adds the modeled latency to
+//     a deterministic nanosecond counter. Experiments report this modeled
+//     time, which is reproducible on any host.
+//   - Delay-injection mode (optional): every access additionally spins the
+//     CPU for the modeled latency, as the paper's emulator did with the
+//     RDTSCP timestamp counter, so wall-clock benchmarks feel the latency.
+//
+// A Device also tracks read/write operation and byte counts, and per-line
+// wear counters for endurance analysis (Table 2: NVBM endures 1e6–1e8
+// writes per bit, versus >1e16 for DRAM).
+//
+// Devices of kind NVBM survive Crash and can be persisted to and restored
+// from a file; devices of kind DRAM lose their contents on Crash.
+package nvbm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two memory technologies a Device can emulate.
+type Kind uint8
+
+const (
+	// DRAM is volatile memory: fast, contents lost on Crash.
+	DRAM Kind = iota
+	// NVBM is non-volatile byte-addressable memory: slower writes,
+	// contents preserved across Crash and process restart.
+	NVBM
+)
+
+// String returns the conventional name of the memory kind.
+func (k Kind) String() string {
+	switch k {
+	case DRAM:
+		return "DRAM"
+	case NVBM:
+		return "NVBM"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// LineSize is the granularity, in bytes, at which wear is tracked. It
+// matches a CPU cache line, the unit in which stores reach the memory
+// device.
+const LineSize = 64
+
+// Device is an emulated memory device. The zero value is not usable; create
+// devices with New.
+//
+// A Device may be read concurrently, but writes require external
+// synchronization, matching the semantics of raw memory.
+type Device struct {
+	kind Kind
+	lat  Latency
+
+	mu   sync.RWMutex // guards growth of data/wear
+	data []byte
+	wear []uint32 // per-LineSize-line write counts (NVBM only)
+
+	inject    atomic.Bool // spin-delay injection enabled
+	unmetered atomic.Bool // accounting suspended (instrumentation walks)
+
+	// powerCut, when armed (>= 0), counts down on every write; once it
+	// reaches zero the device stops accepting writes, emulating power
+	// failing mid-operation. -1 = disarmed.
+	powerCut atomic.Int64
+
+	reads      atomic.Uint64
+	writes     atomic.Uint64
+	readBytes  atomic.Uint64
+	writeBytes atomic.Uint64
+	modeledNs  atomic.Uint64
+}
+
+// New creates a Device of the given kind with the given initial capacity in
+// bytes and the default latency model for that kind (Table 2 of the paper).
+func New(kind Kind, size int) *Device {
+	if size < 0 {
+		panic("nvbm: negative device size")
+	}
+	d := &Device{kind: kind, lat: DefaultLatency(kind), data: make([]byte, size)}
+	if kind == NVBM {
+		d.wear = make([]uint32, (size+LineSize-1)/LineSize)
+	}
+	d.powerCut.Store(-1)
+	return d
+}
+
+// NewWithLatency creates a Device with an explicit latency model.
+func NewWithLatency(kind Kind, size int, lat Latency) *Device {
+	d := New(kind, size)
+	d.lat = lat
+	return d
+}
+
+// Kind reports the memory technology this device emulates.
+func (d *Device) Kind() Kind { return d.kind }
+
+// Latency returns the latency model in effect.
+func (d *Device) Latency() Latency { return d.lat }
+
+// Size returns the current capacity of the device in bytes.
+func (d *Device) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data)
+}
+
+// SetDelayInjection enables or disables CPU spin delays on every access, in
+// addition to the always-on deterministic latency accounting.
+func (d *Device) SetDelayInjection(on bool) { d.inject.Store(on) }
+
+// DelayInjection reports whether spin-delay injection is enabled.
+func (d *Device) DelayInjection() bool { return d.inject.Load() }
+
+// Grow extends the device so that it has capacity for at least size bytes.
+// Growing is an administrative operation (like plugging in a DIMM) and is
+// not charged memory latency.
+func (d *Device) Grow(size int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size <= len(d.data) {
+		return
+	}
+	nd := make([]byte, size)
+	copy(nd, d.data)
+	d.data = nd
+	if d.kind == NVBM {
+		nw := make([]uint32, (size+LineSize-1)/LineSize)
+		copy(nw, d.wear)
+		d.wear = nw
+	}
+}
+
+// ReadAt copies len(p) bytes starting at offset off into p, charging read
+// latency for one access of len(p) bytes. Panics with ErrPowerLost after
+// an expired power cut.
+func (d *Device) ReadAt(off int, p []byte) {
+	if d.powerCut.Load() == 0 {
+		panic(ErrPowerLost)
+	}
+	d.mu.RLock()
+	if off < 0 || off+len(p) > len(d.data) {
+		d.mu.RUnlock()
+		panic(fmt.Sprintf("nvbm: read [%d,%d) out of range (size %d)", off, off+len(p), d.Size()))
+	}
+	copy(p, d.data[off:])
+	d.mu.RUnlock()
+	d.chargeRead(len(p))
+}
+
+// ErrPowerLost is the panic value raised by any access to a device whose
+// power-cut countdown has expired: at that instant the process is dead.
+// Torture harnesses recover() it, discard all volatile state, and restart
+// from the device contents.
+var ErrPowerLost = fmt.Errorf("nvbm: power lost")
+
+// WriteAt copies p into the device starting at offset off, charging write
+// latency for one access of len(p) bytes and bumping wear counters for
+// every touched line. With an armed power cut whose countdown has
+// expired, the access panics with ErrPowerLost.
+func (d *Device) WriteAt(off int, p []byte) {
+	if cut := d.powerCut.Load(); cut >= 0 {
+		if cut == 0 {
+			panic(ErrPowerLost)
+		}
+		d.powerCut.Store(cut - 1)
+	}
+	d.mu.RLock()
+	if off < 0 || off+len(p) > len(d.data) {
+		d.mu.RUnlock()
+		panic(fmt.Sprintf("nvbm: write [%d,%d) out of range (size %d)", off, off+len(p), d.Size()))
+	}
+	copy(d.data[off:], p)
+	if d.kind == NVBM && len(p) > 0 {
+		for line := off / LineSize; line <= (off+len(p)-1)/LineSize; line++ {
+			if line < len(d.wear) {
+				atomic.AddUint32(&d.wear[line], 1)
+			}
+		}
+	}
+	d.mu.RUnlock()
+	d.chargeWrite(len(p))
+}
+
+// ReadU64 reads a little-endian uint64 at offset off.
+func (d *Device) ReadU64(off int) uint64 {
+	var b [8]byte
+	d.ReadAt(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes v as a little-endian uint64 at offset off.
+func (d *Device) WriteU64(off int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.WriteAt(off, b[:])
+}
+
+// ReadU32 reads a little-endian uint32 at offset off.
+func (d *Device) ReadU32(off int) uint32 {
+	var b [4]byte
+	d.ReadAt(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes v as a little-endian uint32 at offset off.
+func (d *Device) WriteU32(off int, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.WriteAt(off, b[:])
+}
+
+// Crash emulates a power failure. A DRAM device loses its contents (they
+// are zeroed); an NVBM device retains them. Statistics survive in both
+// cases, because they belong to the experiment, not the machine.
+func (d *Device) Crash() {
+	if d.kind != DRAM {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.data {
+		d.data[i] = 0
+	}
+}
+
+// CutPowerAfter arms a power-failure countdown: the next n writes land,
+// then every later access panics with ErrPowerLost — the torture knob for
+// crash-consistency testing (the process dies at the instant power fails;
+// its volatile state is discarded and recovery must proceed from whatever
+// subset of writes reached the device). RestorePower disarms.
+func (d *Device) CutPowerAfter(n int) {
+	if n < 0 {
+		panic("nvbm: negative power-cut countdown")
+	}
+	d.powerCut.Store(int64(n))
+}
+
+// RestorePower disarms a power cut; subsequent writes land normally.
+func (d *Device) RestorePower() { d.powerCut.Store(-1) }
+
+// PowerLost reports whether the device is currently dropping writes.
+func (d *Device) PowerLost() bool { return d.powerCut.Load() == 0 }
+
+// ChargeRead accounts a read of n bytes without moving data. Subsystems
+// use it to model I/O whose payload is tracked elsewhere (e.g. B-tree
+// index pages held in a volatile cache but homed on this device).
+func (d *Device) ChargeRead(n int) { d.chargeRead(n) }
+
+// ChargeWrite accounts a write of n bytes without moving data.
+func (d *Device) ChargeWrite(n int) { d.chargeWrite(n) }
+
+// ChargeReadN accounts count independent reads of bytesEach bytes in one
+// call (bulk form of ChargeRead for modeling traversals).
+func (d *Device) ChargeReadN(count, bytesEach int) {
+	if count <= 0 || d.unmetered.Load() {
+		return
+	}
+	d.reads.Add(uint64(count))
+	d.readBytes.Add(uint64(count * bytesEach))
+	d.modeledNs.Add(uint64(count) * d.lat.ReadNanos(bytesEach))
+}
+
+// ChargeWriteN accounts count independent writes of bytesEach bytes.
+func (d *Device) ChargeWriteN(count, bytesEach int) {
+	if count <= 0 || d.unmetered.Load() {
+		return
+	}
+	d.writes.Add(uint64(count))
+	d.writeBytes.Add(uint64(count * bytesEach))
+	d.modeledNs.Add(uint64(count) * d.lat.WriteNanos(bytesEach))
+}
+
+// SetAccounting enables or disables latency and statistics accounting.
+// Instrumentation walks (overlap-ratio measurement, validation) disable it
+// so that observing an experiment does not perturb it.
+func (d *Device) SetAccounting(on bool) { d.unmetered.Store(!on) }
+
+func (d *Device) chargeRead(n int) {
+	if d.unmetered.Load() {
+		return
+	}
+	d.reads.Add(1)
+	d.readBytes.Add(uint64(n))
+	ns := d.lat.ReadNanos(n)
+	d.modeledNs.Add(ns)
+	if d.inject.Load() {
+		spin(ns)
+	}
+}
+
+func (d *Device) chargeWrite(n int) {
+	if d.unmetered.Load() {
+		return
+	}
+	d.writes.Add(1)
+	d.writeBytes.Add(uint64(n))
+	ns := d.lat.WriteNanos(n)
+	d.modeledNs.Add(ns)
+	if d.inject.Load() {
+		spin(ns)
+	}
+}

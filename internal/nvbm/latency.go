@@ -1,0 +1,88 @@
+package nvbm
+
+import "time"
+
+// Latency models per-access device latency. An access of n bytes costs the
+// fixed access latency plus a per-line transfer term, reflecting that the
+// memory bus moves cache lines:
+//
+//	cost(n) = AccessNs + ceil(n/LineSize-1) * LineNs
+//
+// so a single-line access costs exactly the Table 2 figure and large block
+// transfers are charged proportionally.
+type Latency struct {
+	// ReadNs is the latency of a single-line read, in nanoseconds.
+	ReadNs uint64
+	// WriteNs is the latency of a single-line write, in nanoseconds.
+	WriteNs uint64
+	// LineNs is the additional cost per extra line of a multi-line
+	// access, in nanoseconds. Defaults to the corresponding access
+	// latency when zero at construction.
+	LineReadNs  uint64
+	LineWriteNs uint64
+}
+
+// Characteristics from Table 2 of the paper, based on PCM measurements in
+// Lee et al. (ISCA '09), Chen et al. (CIDR '11), and Venkataraman et al.
+// (FAST '11).
+const (
+	// DRAMReadNs is the read latency of DRAM (Table 2).
+	DRAMReadNs = 60
+	// DRAMWriteNs is the write latency of DRAM (Table 2).
+	DRAMWriteNs = 60
+	// NVBMReadNs is the read latency of NVBM (Table 2).
+	NVBMReadNs = 100
+	// NVBMWriteNs is the write latency of NVBM, 2.5x DRAM (Table 2).
+	NVBMWriteNs = 150
+
+	// DRAMEnduranceWrites is the per-bit write endurance of DRAM.
+	DRAMEnduranceWrites = 1e16
+	// NVBMEnduranceWrites is the conservative per-bit write endurance of
+	// NVBM (Table 2 gives 1e6 - 1e8).
+	NVBMEnduranceWrites = 1e6
+)
+
+// DefaultLatency returns the Table 2 latency model for the given kind.
+func DefaultLatency(kind Kind) Latency {
+	switch kind {
+	case DRAM:
+		return Latency{ReadNs: DRAMReadNs, WriteNs: DRAMWriteNs, LineReadNs: DRAMReadNs, LineWriteNs: DRAMWriteNs}
+	default:
+		return Latency{ReadNs: NVBMReadNs, WriteNs: NVBMWriteNs, LineReadNs: NVBMReadNs, LineWriteNs: NVBMWriteNs}
+	}
+}
+
+// ReadNanos returns the modeled cost in nanoseconds of reading n bytes in
+// one access.
+func (l Latency) ReadNanos(n int) uint64 {
+	return l.ReadNs + uint64(extraLines(n))*l.LineReadNs
+}
+
+// WriteNanos returns the modeled cost in nanoseconds of writing n bytes in
+// one access.
+func (l Latency) WriteNanos(n int) uint64 {
+	return l.WriteNs + uint64(extraLines(n))*l.LineWriteNs
+}
+
+// extraLines returns the number of lines beyond the first needed to hold n
+// bytes.
+func extraLines(n int) int {
+	if n <= LineSize {
+		return 0
+	}
+	return (n+LineSize-1)/LineSize - 1
+}
+
+// spin busy-waits for approximately ns nanoseconds. This mirrors the
+// paper's software spin loop on the processor timestamp counter; Go gives
+// us a monotonic clock through time.Since.
+func spin(ns uint64) {
+	if ns == 0 {
+		return
+	}
+	start := time.Now()
+	target := time.Duration(ns)
+	for time.Since(start) < target {
+		// burn
+	}
+}

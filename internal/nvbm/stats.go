@@ -1,0 +1,145 @@
+package nvbm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Device's access counters.
+type Stats struct {
+	Kind       Kind
+	Reads      uint64 // read operations
+	Writes     uint64 // write operations
+	ReadBytes  uint64
+	WriteBytes uint64
+	ModeledNs  uint64 // accumulated modeled latency
+}
+
+// Stats returns a snapshot of the device's counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Kind:       d.kind,
+		Reads:      d.reads.Load(),
+		Writes:     d.writes.Load(),
+		ReadBytes:  d.readBytes.Load(),
+		WriteBytes: d.writeBytes.Load(),
+		ModeledNs:  d.modeledNs.Load(),
+	}
+}
+
+// ResetStats zeroes all access counters. Wear counters are not reset:
+// endurance damage is permanent.
+func (d *Device) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.readBytes.Store(0)
+	d.writeBytes.Store(0)
+	d.modeledNs.Store(0)
+}
+
+// Accesses returns the total number of read and write operations.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// WriteFraction returns the fraction of accesses that were writes, in
+// [0,1]. It returns 0 when no accesses have occurred.
+func (s Stats) WriteFraction() float64 {
+	total := s.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(total)
+}
+
+// Modeled returns the accumulated modeled latency as a time.Duration.
+func (s Stats) Modeled() time.Duration { return time.Duration(s.ModeledNs) }
+
+// Sub returns the counter deltas s - earlier, for interval measurements.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Kind:       s.Kind,
+		Reads:      s.Reads - earlier.Reads,
+		Writes:     s.Writes - earlier.Writes,
+		ReadBytes:  s.ReadBytes - earlier.ReadBytes,
+		WriteBytes: s.WriteBytes - earlier.WriteBytes,
+		ModeledNs:  s.ModeledNs - earlier.ModeledNs,
+	}
+}
+
+// Add returns the counter sums s + other. Kind is taken from s.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		Kind:       s.Kind,
+		Reads:      s.Reads + other.Reads,
+		Writes:     s.Writes + other.Writes,
+		ReadBytes:  s.ReadBytes + other.ReadBytes,
+		WriteBytes: s.WriteBytes + other.WriteBytes,
+		ModeledNs:  s.ModeledNs + other.ModeledNs,
+	}
+}
+
+// String formats the snapshot for humans.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d reads (%d B), %d writes (%d B), modeled %v",
+		s.Kind, s.Reads, s.ReadBytes, s.Writes, s.WriteBytes, s.Modeled())
+}
+
+// WearStats summarizes per-line write wear of an NVBM device.
+type WearStats struct {
+	Lines     int    // number of tracked lines
+	MaxWear   uint32 // writes to the most-written line
+	TotalWear uint64
+}
+
+// Wear returns wear statistics. For DRAM devices it returns a zero value:
+// DRAM endurance is effectively unlimited.
+func (d *Device) Wear() WearStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var ws WearStats
+	ws.Lines = len(d.wear)
+	for i := range d.wear {
+		w := d.wear[i]
+		ws.TotalWear += uint64(w)
+		if w > ws.MaxWear {
+			ws.MaxWear = w
+		}
+	}
+	return ws
+}
+
+// WearMax returns the highest per-line write count within the byte range
+// [from, to) — for separating data-region wear from metadata hot spots.
+func (d *Device) WearMax(from, to int) uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var m uint32
+	lo := from / LineSize
+	hi := (to + LineSize - 1) / LineSize
+	if hi > len(d.wear) {
+		hi = len(d.wear)
+	}
+	for i := lo; i < hi && i >= 0; i++ {
+		if d.wear[i] > m {
+			m = d.wear[i]
+		}
+	}
+	return m
+}
+
+// MeanWear returns the average writes per line, or 0 with no lines.
+func (ws WearStats) MeanWear() float64 {
+	if ws.Lines == 0 {
+		return 0
+	}
+	return float64(ws.TotalWear) / float64(ws.Lines)
+}
+
+// WearImbalance returns max/mean wear, a measure of hot-spotting; 0 when
+// unwritten. Values near 1 indicate even wear-leveling.
+func (ws WearStats) WearImbalance() float64 {
+	m := ws.MeanWear()
+	if m == 0 {
+		return 0
+	}
+	return float64(ws.MaxWear) / m
+}

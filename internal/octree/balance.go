@@ -1,0 +1,61 @@
+package octree
+
+import "pmoctree/internal/morton"
+
+// Balance enforces the 2:1 constraint across faces: any two face-adjacent
+// leaves differ by at most one level. Violators are collected in batches —
+// one scan finds every too-coarse neighbor, all are refined, and the scan
+// repeats until stable (ripple refinement can create new violations one
+// level up). Balance returns the number of refine operations performed.
+//
+// Because the pointer octree stores parent and child links (the
+// "multi-threaded" octree Gerris requires), neighbor lookup is a cheap
+// top-down walk; contrast with the linear out-of-core octree, which must
+// probe all 26 neighbor keys per octant through its B-tree index (§5.4).
+func (t *Tree) Balance() int {
+	refined := 0
+	for {
+		violators := t.findViolators()
+		if len(violators) == 0 {
+			return refined
+		}
+		for _, n := range violators {
+			if n.IsLeaf() {
+				t.Refine(n)
+				refined++
+			}
+		}
+	}
+}
+
+// findViolators scans leaves once, returning distinct leaves more than
+// one level coarser than a face-adjacent leaf. Faces shared with siblings
+// are skipped: siblings are the same level by construction.
+func (t *Tree) findViolators() []*Node {
+	seen := map[*Node]bool{}
+	var out []*Node
+	var scratch [6]morton.Code
+	t.ForEachLeaf(func(leaf *Node) bool {
+		if leaf.Level() < 2 {
+			return true
+		}
+		parent := leaf.Code.Parent()
+		for _, ncode := range leaf.Code.FaceNeighbors(scratch[:0]) {
+			if ncode.Parent() == parent {
+				continue
+			}
+			n := t.FindLeaf(ncode)
+			if n.IsLeaf() && leaf.Level()-n.Level() > 1 && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsBalanced reports whether the tree satisfies the 2:1 face constraint.
+func (t *Tree) IsBalanced() bool {
+	return len(t.findViolators()) == 0
+}

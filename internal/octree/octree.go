@@ -1,0 +1,243 @@
+// Package octree implements the in-core baseline of the evaluation: an
+// ephemeral, pointer-linked ("multi-threaded") octree held entirely in
+// DRAM, as used by the Gerris flow solver. It supports the five meshing
+// routines of §2 — Construct, Refine & Coarsen, Balance, Partition (via
+// leaf enumeration in Z-order), and Extract (internal/mesh) — and persists
+// only by serializing full snapshots through a file-system-style interface
+// (snapshot.go), which is precisely the failure-recovery cost PM-octree is
+// designed to remove.
+package octree
+
+import (
+	"fmt"
+
+	"pmoctree/internal/morton"
+)
+
+// DataWords is the number of float64 cell-centered field values stored per
+// octant (e.g. volume fraction, pressure, two velocity components).
+const DataWords = 4
+
+// Node is one octant. Leaf nodes have no children.
+type Node struct {
+	Code     morton.Code
+	Parent   *Node
+	Children [8]*Node
+	Data     [DataWords]float64
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool {
+	for _, c := range n.Children {
+		if c != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Level returns the octree level of the node.
+func (n *Node) Level() uint8 { return n.Code.Level() }
+
+// Tree is an in-core octree rooted at the unit cube.
+type Tree struct {
+	Root  *Node
+	count int // total nodes
+}
+
+// New returns a tree holding only the root octant.
+func New() *Tree {
+	return &Tree{Root: &Node{Code: morton.Root}, count: 1}
+}
+
+// NodeCount returns the total number of octants in the tree.
+func (t *Tree) NodeCount() int { return t.count }
+
+// LeafCount returns the number of leaf octants (mesh elements).
+func (t *Tree) LeafCount() int {
+	n := 0
+	t.ForEachLeaf(func(*Node) bool { n++; return true })
+	return n
+}
+
+// Refine splits a leaf into 8 children, inheriting the parent's data, and
+// returns the children. It panics if n is not a leaf.
+func (t *Tree) Refine(n *Node) [8]*Node {
+	if !n.IsLeaf() {
+		panic(fmt.Sprintf("octree: refining non-leaf %v", n.Code))
+	}
+	for i := 0; i < 8; i++ {
+		c := &Node{Code: n.Code.Child(i), Parent: n, Data: n.Data}
+		n.Children[i] = c
+		t.count++
+	}
+	return n.Children
+}
+
+// Coarsen removes the (leaf) children of n, averaging their data into n.
+// It panics unless all of n's children are leaves.
+func (t *Tree) Coarsen(n *Node) {
+	var sum [DataWords]float64
+	for i, c := range n.Children {
+		if c == nil {
+			panic(fmt.Sprintf("octree: coarsening leaf %v", n.Code))
+		}
+		if !c.IsLeaf() {
+			panic(fmt.Sprintf("octree: coarsening %v with non-leaf child", n.Code))
+		}
+		for w := 0; w < DataWords; w++ {
+			sum[w] += c.Data[w]
+		}
+		n.Children[i] = nil
+		t.count--
+	}
+	for w := 0; w < DataWords; w++ {
+		n.Data[w] = sum[w] / 8
+	}
+}
+
+// Find returns the node with exactly the given code, or nil.
+func (t *Tree) Find(code morton.Code) *Node {
+	n := t.Root
+	level := code.Level()
+	for d := uint8(1); d <= level; d++ {
+		idx := code.AncestorAt(d).ChildIndex()
+		n = n.Children[idx]
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// FindLeaf returns the deepest node whose region contains code — the leaf
+// octant covering that location (or an interior node if code is shallower
+// than the local refinement).
+func (t *Tree) FindLeaf(code morton.Code) *Node {
+	n := t.Root
+	level := code.Level()
+	for d := uint8(1); d <= level; d++ {
+		idx := code.AncestorAt(d).ChildIndex()
+		next := n.Children[idx]
+		if next == nil {
+			return n
+		}
+		n = next
+	}
+	return n
+}
+
+// ForEachNode visits every node in pre-order (Z-order). The visit function
+// returns false to stop early.
+func (t *Tree) ForEachNode(fn func(*Node) bool) {
+	var walk func(*Node) bool
+	walk = func(n *Node) bool {
+		if !fn(n) {
+			return false
+		}
+		for _, c := range n.Children {
+			if c != nil && !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.Root)
+}
+
+// ForEachLeaf visits every leaf in Z-order. The visit function returns
+// false to stop early.
+func (t *Tree) ForEachLeaf(fn func(*Node) bool) {
+	t.ForEachNode(func(n *Node) bool {
+		if n.IsLeaf() {
+			return fn(n)
+		}
+		return true
+	})
+}
+
+// LeafCodes returns the codes of all leaves in Z-order.
+func (t *Tree) LeafCodes() []morton.Code {
+	var out []morton.Code
+	t.ForEachLeaf(func(n *Node) bool { out = append(out, n.Code); return true })
+	return out
+}
+
+// RefineWhere refines every leaf for which pred is true, repeatedly, until
+// no leaf below maxLevel satisfies pred. It returns the number of refine
+// operations performed.
+func (t *Tree) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	refined := 0
+	queue := []*Node{}
+	t.ForEachLeaf(func(n *Node) bool { queue = append(queue, n); return true })
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !n.IsLeaf() || n.Level() >= maxLevel || !pred(n.Code) {
+			continue
+		}
+		for _, c := range t.Refine(n) {
+			queue = append(queue, c)
+		}
+		refined++
+	}
+	return refined
+}
+
+// CoarsenWhere collapses sibling groups of leaves whose parent satisfies
+// pred, repeatedly, until stable. It returns the number of coarsen
+// operations performed.
+func (t *Tree) CoarsenWhere(pred func(morton.Code) bool) int {
+	coarsened := 0
+	for {
+		var target *Node
+		t.ForEachNode(func(n *Node) bool {
+			if n.IsLeaf() || !pred(n.Code) {
+				return true
+			}
+			for _, c := range n.Children {
+				if c == nil || !c.IsLeaf() {
+					return true
+				}
+			}
+			target = n
+			return false
+		})
+		if target == nil {
+			return coarsened
+		}
+		t.Coarsen(target)
+		coarsened++
+	}
+}
+
+// Validate checks structural invariants: parent links, code consistency,
+// and the node count. It returns the first violation found.
+func (t *Tree) Validate() error {
+	seen := 0
+	var err error
+	t.ForEachNode(func(n *Node) bool {
+		seen++
+		for i, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			if c.Parent != n {
+				err = fmt.Errorf("octree: %v child %d has wrong parent", n.Code, i)
+				return false
+			}
+			if c.Code != n.Code.Child(i) {
+				err = fmt.Errorf("octree: %v child %d has code %v", n.Code, i, c.Code)
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("octree: count %d but %d nodes reachable", t.count, seen)
+	}
+	return nil
+}

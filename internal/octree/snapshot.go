@@ -1,0 +1,122 @@
+package octree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/pagefile"
+)
+
+// Snapshot format: a header (magic + node count) followed by every node in
+// pre-order, each as code (8 bytes) + DataWords float64s. Pre-order means a
+// node's parent always precedes it, so the tree rebuilds in one pass.
+
+var snapMagic = [8]byte{'O', 'C', 'S', 'N', 'A', 'P', '0', '1'}
+
+const nodeRecSize = 8 + 8*DataWords
+
+// WriteSnapshot serializes the whole tree to w. This is the in-core
+// baseline's persistence path (gfs_output_write in Gerris): every octant is
+// written every time, regardless of how little changed since the last
+// snapshot.
+func (t *Tree) WriteSnapshot(w io.Writer) error {
+	if _, err := w.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(t.count))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	rec := make([]byte, nodeRecSize)
+	var werr error
+	t.ForEachNode(func(n *Node) bool {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(n.Code))
+		for i := 0; i < DataWords; i++ {
+			binary.LittleEndian.PutUint64(rec[8+8*i:], math.Float64bits(n.Data[i]))
+		}
+		if _, err := w.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	return werr
+}
+
+// ReadSnapshot reconstructs a tree from a stream written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Tree, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("octree: reading snapshot magic: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("octree: bad snapshot magic %q", magic[:])
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("octree: reading snapshot count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	if n == 0 {
+		return nil, fmt.Errorf("octree: snapshot holds no nodes")
+	}
+	t := &Tree{}
+	rec := make([]byte, nodeRecSize)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("octree: reading node %d: %w", i, err)
+		}
+		code := morton.Code(binary.LittleEndian.Uint64(rec[0:]))
+		var data [DataWords]float64
+		for w := 0; w < DataWords; w++ {
+			data[w] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*w:]))
+		}
+		if i == 0 {
+			if code != morton.Root {
+				return nil, fmt.Errorf("octree: snapshot does not start at the root")
+			}
+			t.Root = &Node{Code: code, Data: data}
+			t.count = 1
+			continue
+		}
+		parent := t.Find(code.Parent())
+		if parent == nil {
+			return nil, fmt.Errorf("octree: node %v arrives before its parent", code)
+		}
+		child := &Node{Code: code, Parent: parent, Data: data}
+		parent.Children[code.ChildIndex()] = child
+		t.count++
+	}
+	return t, nil
+}
+
+// SnapshotToDevice writes the tree as a snapshot file on an NVBM device
+// through the page-granularity file-system interface, charging the full
+// I/O cost the in-core baseline pays. It returns the snapshot size in
+// bytes.
+func (t *Tree) SnapshotToDevice(dev *nvbm.Device) (int, error) {
+	w := pagefile.NewWriter(dev)
+	if err := t.WriteSnapshot(w); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return 16 + t.count*nodeRecSize, nil
+}
+
+// SnapshotFromDevice reads back a snapshot file written by
+// SnapshotToDevice, again through the page interface — the in-core
+// baseline's restart path.
+func SnapshotFromDevice(dev *nvbm.Device) (*Tree, error) {
+	r, err := pagefile.NewReader(dev)
+	if err != nil {
+		return nil, err
+	}
+	return ReadSnapshot(r)
+}

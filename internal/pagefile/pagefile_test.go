@@ -1,0 +1,203 @@
+package pagefile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"pmoctree/internal/nvbm"
+)
+
+func TestStoreAllocWriteRead(t *testing.T) {
+	s := NewStore(nvbm.New(nvbm.NVBM, 0))
+	p0 := s.AllocPage()
+	p1 := s.AllocPage()
+	if p0 == p1 {
+		t.Fatal("duplicate page ids")
+	}
+	s.WritePage(p0, []byte("alpha"))
+	s.WritePage(p1, []byte("beta"))
+	buf := make([]byte, 5)
+	s.ReadPage(p0, buf)
+	if string(buf) != "alpha" {
+		t.Errorf("page 0 = %q", buf)
+	}
+	s.ReadPage(p1, buf[:4])
+	if string(buf[:4]) != "beta" {
+		t.Errorf("page 1 = %q", buf[:4])
+	}
+	if s.Pages() != 2 {
+		t.Errorf("Pages = %d", s.Pages())
+	}
+}
+
+func TestStoreFreeReuse(t *testing.T) {
+	s := NewStore(nvbm.New(nvbm.NVBM, 0))
+	p := s.AllocPage()
+	s.FreePage(p)
+	if got := s.AllocPage(); got != p {
+		t.Errorf("freed page not reused: got %d want %d", got, p)
+	}
+}
+
+func TestStoreChargesFullPages(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	s := NewStore(dev)
+	p := s.AllocPage()
+	before := dev.Stats()
+	s.WritePage(p, []byte{1}) // one byte...
+	delta := dev.Stats().Sub(before)
+	if delta.WriteBytes != PageSize { // ...but a whole page moves
+		t.Errorf("wrote %d bytes, want %d", delta.WriteBytes, PageSize)
+	}
+	before = dev.Stats()
+	s.ReadPage(p, make([]byte, 1))
+	delta = dev.Stats().Sub(before)
+	if delta.ReadBytes != PageSize {
+		t.Errorf("read %d bytes, want %d", delta.ReadBytes, PageSize)
+	}
+}
+
+func TestStorePanics(t *testing.T) {
+	s := NewStore(nvbm.New(nvbm.NVBM, 0))
+	p := s.AllocPage()
+	for _, fn := range []func(){
+		func() { s.WritePage(p+1, nil) },
+		func() { s.ReadPage(-1, nil) },
+		func() { s.WritePage(p, make([]byte, PageSize+1)) },
+		func() { s.FreePage(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	w := NewWriter(dev)
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16000 bytes, ~4 pages
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(payload) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(payload))
+	}
+	got, err := io.ReadAll(r)
+	if err != nil && !IsEOF(err) {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestWriterEmptyStream(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	w := NewWriter(dev)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("empty stream Len = %d", r.Len())
+	}
+	if _, err := r.Read(make([]byte, 8)); !IsEOF(err) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderOnEmptyDevice(t *testing.T) {
+	if _, err := NewReader(nvbm.New(nvbm.NVBM, 0)); err == nil {
+		t.Error("expected error on deviceless stream")
+	}
+}
+
+func TestWriterSmallWrites(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	w := NewWriter(dev)
+	var want bytes.Buffer
+	for i := 0; i < 5000; i++ {
+		b := []byte{byte(i), byte(i >> 8), byte(i % 7)}
+		w.Write(b)
+		want.Write(b)
+	}
+	w.Close()
+	r, err := NewReader(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, want.Len())
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("fragmented writes corrupted the stream")
+	}
+}
+
+// Property: any payload round-trips through the page stream.
+func TestQuickStreamIdentity(t *testing.T) {
+	f := func(payload []byte) bool {
+		dev := nvbm.New(nvbm.NVBM, 0)
+		w := NewWriter(dev)
+		w.Write(payload)
+		w.Close()
+		r, err := NewReader(dev)
+		if err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if len(payload) > 0 {
+			if _, err := io.ReadFull(r, got); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct pages never interfere.
+func TestQuickPageIsolation(t *testing.T) {
+	f := func(vals []byte) bool {
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		s := NewStore(nvbm.New(nvbm.NVBM, 0))
+		ids := make([]int, len(vals))
+		for i, v := range vals {
+			ids[i] = s.AllocPage()
+			s.WritePage(ids[i], []byte{v})
+		}
+		for i, v := range vals {
+			b := make([]byte, 1)
+			s.ReadPage(ids[i], b)
+			if b[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

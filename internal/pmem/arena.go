@@ -1,0 +1,387 @@
+// Package pmem provides a persistent, handle-addressed slot allocator on top
+// of an emulated memory device (internal/nvbm).
+//
+// A garbage-collected runtime such as Go cannot store raw pointers inside a
+// persistent memory region: the collector owns pointer identity, may move
+// its view of liveness at any time, and never scans foreign memory. The
+// PM-octree reproduction therefore follows the layout discipline of
+// PMDK-style persistent libraries: objects in a region reference each other
+// by region-relative handles, never by virtual addresses. Handles remain
+// valid across process restarts and file-backed remaps, which is exactly
+// the property persistent pointers give C++ and the property Go pointers
+// cannot.
+//
+// An Arena manages fixed-size slots inside one device. Slot liveness is
+// recorded in a persistent allocation bitmap, so a crashed process rebuilds
+// its volatile free list from one small sequential read — the allocator is
+// crash-consistent without a log, and recovery cost is metadata-sized, not
+// data-sized. (A crash between a slot write and its bitmap flip leaks at
+// most one slot, which the octree's mark-and-sweep GC reclaims.)
+package pmem
+
+import (
+	"fmt"
+
+	"pmoctree/internal/nvbm"
+)
+
+// Handle identifies an allocated slot within one Arena. Handles are
+// 1-based; the zero Handle is the nil reference.
+type Handle uint32
+
+// Nil is the null handle.
+const Nil Handle = 0
+
+// IsNil reports whether h is the null handle.
+func (h Handle) IsNil() bool { return h == Nil }
+
+const (
+	// headerSize is the formatted arena header: magic, geometry, and the
+	// persistent root table.
+	headerSize = 128
+	// rootTableOff is where the 8 persistent roots live in the header.
+	rootTableOff = 64
+	// NumRoots is the number of persistent root slots an arena exposes.
+	// PM-octree uses two of them for ADDR(Vi) and ADDR(Vi-1).
+	NumRoots = 8
+
+	magicOff     = 0
+	slotSizeOff  = 8
+	strideOff    = 12
+	highWaterOff = 16
+	maxSlotsOff  = 20
+
+	// DefaultMaxSlots bounds an arena created by NewArena: 2^21 slots
+	// (an allocation bitmap of 256 KiB).
+	DefaultMaxSlots = 1 << 21
+)
+
+var arenaMagic = [8]byte{'P', 'M', 'A', 'R', 'E', 'N', 'A', '2'}
+
+// Arena is a fixed-slot allocator over a Device. It is not safe for
+// concurrent use; each simulation rank owns its arenas.
+type Arena struct {
+	dev      *nvbm.Device
+	slotSize int // user-visible bytes per slot
+	stride   int // allocated bytes per slot (8-aligned)
+	maxSlots int
+
+	highWater uint32   // slots ever handed out (contiguous from 0)
+	free      []uint32 // volatile free list of 0-based slot indexes
+	live      int      // currently allocated slots
+
+	// budget, when nonzero, is the slot capacity used for utilization
+	// tracking (threshold_DRAM / threshold_NVBM in the paper). The arena
+	// itself never refuses an allocation; policy lives in the caller.
+	budget int
+
+	// wearLevel switches free-slot recycling from LIFO (cache-friendly:
+	// the hottest slot is reused immediately) to FIFO (wear-friendly:
+	// writes rotate across every freed slot). NVBM cells endure a
+	// bounded number of writes, so long-running write-heavy workloads
+	// trade a little locality for device lifetime.
+	wearLevel bool
+	fifoHead  int // consumed prefix of the free list in FIFO mode
+}
+
+// NewArena formats dev as an empty arena with the given user slot size and
+// the default slot capacity. Any previous contents are ignored.
+func NewArena(dev *nvbm.Device, slotSize int) *Arena {
+	return NewArenaCap(dev, slotSize, DefaultMaxSlots)
+}
+
+// NewArenaCap formats dev with an explicit slot capacity (the persistent
+// allocation bitmap is sized once at format time, like a filesystem's
+// inode table).
+func NewArenaCap(dev *nvbm.Device, slotSize, maxSlots int) *Arena {
+	if slotSize <= 0 {
+		panic("pmem: slot size must be positive")
+	}
+	if maxSlots <= 0 {
+		panic("pmem: max slots must be positive")
+	}
+	a := &Arena{
+		dev:      dev,
+		slotSize: slotSize,
+		stride:   align8(slotSize),
+		maxSlots: maxSlots,
+	}
+	reformatting := dev.Size() > 0
+	if min := a.slotsBase(); dev.Size() < min {
+		dev.Grow(min)
+	}
+	dev.WriteAt(magicOff, arenaMagic[:])
+	dev.WriteU32(slotSizeOff, uint32(slotSize))
+	dev.WriteU32(strideOff, uint32(a.stride))
+	dev.WriteU32(highWaterOff, 0)
+	dev.WriteU32(maxSlotsOff, uint32(maxSlots))
+	for i := 0; i < NumRoots; i++ {
+		dev.WriteU64(rootTableOff+8*i, 0)
+	}
+	if reformatting {
+		// Old contents may sit under the bitmap: zero it in one bulk
+		// write. A fresh device is already zeroed.
+		dev.WriteAt(headerSize, make([]byte, a.bitmapBytes()))
+	}
+	return a
+}
+
+// OpenArena maps an existing formatted arena in dev, rebuilding the
+// volatile free list from the persistent allocation bitmap — one small
+// sequential read, the recovery path after a crash or restart.
+func OpenArena(dev *nvbm.Device) (*Arena, error) {
+	if dev.Size() < headerSize {
+		return nil, fmt.Errorf("pmem: device too small (%d bytes) to hold an arena header", dev.Size())
+	}
+	var magic [8]byte
+	dev.ReadAt(magicOff, magic[:])
+	if magic != arenaMagic {
+		return nil, fmt.Errorf("pmem: bad arena magic %q", magic[:])
+	}
+	a := &Arena{
+		dev:       dev,
+		slotSize:  int(dev.ReadU32(slotSizeOff)),
+		stride:    int(dev.ReadU32(strideOff)),
+		highWater: dev.ReadU32(highWaterOff),
+		maxSlots:  int(dev.ReadU32(maxSlotsOff)),
+	}
+	if a.slotSize <= 0 || a.stride < a.slotSize || a.maxSlots <= 0 {
+		return nil, fmt.Errorf("pmem: corrupt arena geometry: slot %d stride %d cap %d", a.slotSize, a.stride, a.maxSlots)
+	}
+	if int(a.highWater) > a.maxSlots {
+		return nil, fmt.Errorf("pmem: high water %d exceeds capacity %d", a.highWater, a.maxSlots)
+	}
+	// Rebuild the free list from the bitmap prefix covering handed-out
+	// slots: one sequential read.
+	n := int(a.highWater)
+	if n > 0 {
+		bm := make([]byte, (n+7)/8)
+		a.dev.ReadAt(headerSize, bm)
+		for i := 0; i < n; i++ {
+			if bm[i/8]&(1<<(i%8)) != 0 {
+				a.live++
+			} else {
+				a.free = append(a.free, uint32(i))
+			}
+		}
+	}
+	return a, nil
+}
+
+// bitmapBytes returns the persistent bitmap size.
+func (a *Arena) bitmapBytes() int { return (a.maxSlots + 7) / 8 }
+
+// slotsBase returns the device offset of slot 0.
+func (a *Arena) slotsBase() int { return headerSize + a.bitmapBytes() }
+
+// slotOff returns the device offset of slot i's payload.
+func (a *Arena) slotOff(i uint32) int {
+	return a.slotsBase() + int(i)*a.stride
+}
+
+// setBit flips slot i's allocation bit (one byte read-modify-write).
+func (a *Arena) setBit(i uint32, on bool) {
+	off := headerSize + int(i/8)
+	var b [1]byte
+	a.dev.ReadAt(off, b[:])
+	if on {
+		b[0] |= 1 << (i % 8)
+	} else {
+		b[0] &^= 1 << (i % 8)
+	}
+	a.dev.WriteAt(off, b[:])
+}
+
+// bit reads slot i's allocation bit.
+func (a *Arena) bit(i uint32) bool {
+	var b [1]byte
+	a.dev.ReadAt(headerSize+int(i/8), b[:])
+	return b[0]&(1<<(i%8)) != 0
+}
+
+// SetWearLeveling selects FIFO free-slot recycling, rotating writes
+// across freed slots to even out NVBM cell wear (see EnduranceReport).
+func (a *Arena) SetWearLeveling(on bool) { a.wearLevel = on }
+
+// Alloc allocates a slot and returns its handle. The slot contents are
+// zeroed. It panics when the formatted capacity is exhausted.
+func (a *Arena) Alloc() Handle {
+	h := a.AllocRaw()
+	a.dev.WriteAt(a.slotOff(uint32(h-1)), make([]byte, a.slotSize))
+	return h
+}
+
+// AllocRaw allocates a slot without zeroing it. Callers that immediately
+// overwrite the whole payload (the octree always writes a full record into
+// a fresh slot) use this to avoid a redundant full-slot write.
+func (a *Arena) AllocRaw() Handle {
+	var idx uint32
+	if a.wearLevel && a.fifoHead < len(a.free) {
+		idx = a.free[a.fifoHead]
+		a.fifoHead++
+		if a.fifoHead == len(a.free) {
+			a.free = a.free[:0]
+			a.fifoHead = 0
+		}
+	} else if n := len(a.free); n > a.fifoHead {
+		idx = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		if int(a.highWater) >= a.maxSlots {
+			panic(fmt.Sprintf("pmem: arena capacity %d exhausted", a.maxSlots))
+		}
+		idx = a.highWater
+		need := a.slotOff(idx) + a.stride
+		if need > a.dev.Size() {
+			// Grow geometrically to amortize; growth is
+			// administrative and uncharged.
+			newSize := a.dev.Size() * 2
+			if newSize < need {
+				newSize = need
+			}
+			a.dev.Grow(newSize)
+		}
+		a.highWater++
+		a.dev.WriteU32(highWaterOff, a.highWater)
+	}
+	a.setBit(idx, true)
+	a.live++
+	return Handle(idx + 1)
+}
+
+// Free releases the slot. Freeing the nil handle is a no-op; double frees
+// panic, because they indicate octree corruption.
+func (a *Arena) Free(h Handle) {
+	if h.IsNil() {
+		return
+	}
+	idx := a.index(h)
+	if !a.bit(idx) {
+		panic(fmt.Sprintf("pmem: double free of handle %d", h))
+	}
+	a.setBit(idx, false)
+	a.free = append(a.free, idx)
+	a.live--
+}
+
+// index converts a handle to a 0-based slot index, validating range.
+func (a *Arena) index(h Handle) uint32 {
+	if h.IsNil() {
+		panic("pmem: nil handle dereference")
+	}
+	idx := uint32(h - 1)
+	if idx >= a.highWater {
+		panic(fmt.Sprintf("pmem: handle %d beyond high water %d", h, a.highWater))
+	}
+	return idx
+}
+
+// Live reports whether h refers to a currently allocated slot. Used by
+// mark-and-sweep to skip already-free slots.
+func (a *Arena) Live(h Handle) bool {
+	if h.IsNil() {
+		return false
+	}
+	idx := uint32(h - 1)
+	if idx >= a.highWater {
+		return false
+	}
+	return a.bit(idx)
+}
+
+// Read copies the slot payload into p (up to slotSize bytes).
+func (a *Arena) Read(h Handle, p []byte) {
+	idx := a.index(h)
+	if len(p) > a.slotSize {
+		p = p[:a.slotSize]
+	}
+	a.dev.ReadAt(a.slotOff(idx), p)
+}
+
+// Write copies p into the slot payload (up to slotSize bytes).
+func (a *Arena) Write(h Handle, p []byte) {
+	idx := a.index(h)
+	if len(p) > a.slotSize {
+		p = p[:a.slotSize]
+	}
+	a.dev.WriteAt(a.slotOff(idx), p)
+}
+
+// ReadField copies len(p) payload bytes starting at field offset off.
+func (a *Arena) ReadField(h Handle, off int, p []byte) {
+	idx := a.index(h)
+	if off < 0 || off+len(p) > a.slotSize {
+		panic(fmt.Sprintf("pmem: field [%d,%d) outside slot of %d bytes", off, off+len(p), a.slotSize))
+	}
+	a.dev.ReadAt(a.slotOff(idx)+off, p)
+}
+
+// WriteField writes p at field offset off within the slot payload.
+func (a *Arena) WriteField(h Handle, off int, p []byte) {
+	idx := a.index(h)
+	if off < 0 || off+len(p) > a.slotSize {
+		panic(fmt.Sprintf("pmem: field [%d,%d) outside slot of %d bytes", off, off+len(p), a.slotSize))
+	}
+	a.dev.WriteAt(a.slotOff(idx)+off, p)
+}
+
+// SetRoot stores v in persistent root slot i. PM-octree keeps ADDR(Vi) and
+// ADDR(Vi-1) here; swapping them is the atomic commit point of a time step.
+func (a *Arena) SetRoot(i int, v uint64) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	a.dev.WriteU64(rootTableOff+8*i, v)
+}
+
+// Root loads persistent root slot i.
+func (a *Arena) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	return a.dev.ReadU64(rootTableOff + 8*i)
+}
+
+// DataOffset returns the device offset where slot payloads begin; bytes
+// below it are allocator metadata (header, roots, bitmap). Wear analyses
+// separate the two regions: metadata lines are structurally hot.
+func (a *Arena) DataOffset() int { return a.slotsBase() }
+
+// SlotSize returns the user payload size per slot.
+func (a *Arena) SlotSize() int { return a.slotSize }
+
+// LiveCount returns the number of currently allocated slots.
+func (a *Arena) LiveCount() int { return a.live }
+
+// HighWater returns the number of slots ever handed out; handles range over
+// [1, HighWater].
+func (a *Arena) HighWater() uint32 { return a.highWater }
+
+// Device returns the underlying memory device (for statistics).
+func (a *Arena) Device() *nvbm.Device { return a.dev }
+
+// SetBudget sets the slot capacity used for utilization tracking. Zero
+// disables tracking (utilization reports 0).
+func (a *Arena) SetBudget(slots int) { a.budget = slots }
+
+// Budget returns the configured slot capacity.
+func (a *Arena) Budget() int { return a.budget }
+
+// Utilization returns live/budget in [0,1], or 0 when no budget is set.
+// The paper triggers merging when available space (1-utilization) drops
+// below threshold_DRAM or threshold_NVBM.
+func (a *Arena) Utilization() float64 {
+	if a.budget <= 0 {
+		return 0
+	}
+	u := float64(a.live) / float64(a.budget)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// BytesInUse returns the device bytes consumed by live slots.
+func (a *Arena) BytesInUse() int { return a.live * a.stride }
+
+func align8(n int) int { return (n + 7) &^ 7 }

@@ -1,0 +1,160 @@
+package recovery
+
+import (
+	"testing"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+)
+
+// TestCrashEveryFewStepsMatchesCrashFreeRun is the end-to-end durability
+// claim: a simulation that crashes repeatedly — mid-step, with the
+// working version half-built — and restarts from NVBM each time must end
+// in EXACTLY the state of a run that never crashed. This holds because
+// the workload is deterministic per step and pm_restore always returns
+// the last committed version, so the crashed step is simply re-executed.
+func TestCrashEveryFewStepsMatchesCrashFreeRun(t *testing.T) {
+	const (
+		steps      = 12
+		maxLevel   = 4
+		crashEvery = 3
+	)
+	d := sim.NewDroplet(sim.DropletConfig{Steps: steps + 5})
+
+	runStep := func(tree *core.Tree, s int) {
+		sim.StepField(tree, d, s, maxLevel)
+		tree.SetFeatures(sim.FeatureOf(d, s+1))
+		tree.Persist()
+	}
+
+	// Reference: no crashes.
+	ref := core.Create(core.Config{Seed: 9})
+	for s := 1; s <= steps; s++ {
+		runStep(ref, s)
+	}
+	want := map[morton.Code][core.DataWords]float64{}
+	ref.ForEachLeaf(func(c morton.Code, data [core.DataWords]float64) bool {
+		want[c] = data
+		return true
+	})
+
+	// Crashing run: every crashEvery steps the process dies midway
+	// through the NEXT step (after the refine phase, before persist) and
+	// restarts from the device.
+	nv := nvbm.New(nvbm.NVBM, 0)
+	dram := nvbm.New(nvbm.DRAM, 0)
+	tree := core.Create(core.Config{NVBMDevice: nv, DRAMDevice: dram, Seed: 9})
+	s := 1
+	crashes := 0
+	for s <= steps {
+		if s%crashEvery == 0 && crashes < s/crashEvery {
+			// Begin the step, then lose power.
+			tree.RefineWhere(sim.RefinePredOf(d, s), maxLevel)
+			tree.UpdateLeaves(sim.SolveOf(d, s))
+			dram.Crash()
+			crashes++
+			restored, err := core.Restore(core.Config{NVBMDevice: nv, DRAMDevice: nvbm.New(nvbm.DRAM, 0), Seed: 9})
+			if err != nil {
+				t.Fatalf("restore after crash %d: %v", crashes, err)
+			}
+			tree = restored
+			// Resume: the interrupted step re-executes in full.
+			continueStep := int(tree.Step()) // committed step + 1
+			if continueStep != s {
+				t.Fatalf("restored at step %d, expected to resume %d", continueStep, s)
+			}
+		}
+		runStep(tree, s)
+		s++
+	}
+	if crashes == 0 {
+		t.Fatal("test never crashed")
+	}
+
+	got := map[morton.Code][core.DataWords]float64{}
+	tree.ForEachLeaf(func(c morton.Code, data [core.DataWords]float64) bool {
+		got[c] = data
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("crashing run ended with %d leaves, crash-free run %d", len(got), len(want))
+	}
+	for c, w := range want {
+		if got[c] != w {
+			t.Fatalf("leaf %v diverged: %v vs %v", c, got[c], w)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("survived %d crashes; final state identical to crash-free run (%d leaves)", crashes, len(got))
+}
+
+// TestCrashDuringPersistMatchesToo injects the crash at the most delicate
+// moment — a bounded number of writes INTO Persist — then resumes and
+// finishes; the end state must still match the crash-free run (either the
+// interrupted commit landed, and the resumed run continues from it, or it
+// did not, and the step re-executes).
+func TestCrashDuringPersistMatchesToo(t *testing.T) {
+	const (
+		steps    = 6
+		maxLevel = 3
+	)
+	d := sim.NewDroplet(sim.DropletConfig{Steps: steps + 5})
+	step := func(tree *core.Tree, s int) {
+		sim.StepField(tree, d, s, maxLevel)
+		tree.SetFeatures(sim.FeatureOf(d, s+1))
+		tree.Persist()
+	}
+	ref := core.Create(core.Config{Seed: 4})
+	for s := 1; s <= steps; s++ {
+		step(ref, s)
+	}
+	want := map[morton.Code][core.DataWords]float64{}
+	ref.ForEachLeaf(func(c morton.Code, data [core.DataWords]float64) bool {
+		want[c] = data
+		return true
+	})
+
+	for _, cutWrites := range []int{5, 50, 500} {
+		nv := nvbm.New(nvbm.NVBM, 0)
+		tree := core.Create(core.Config{NVBMDevice: nv, Seed: 4})
+		for s := 1; s <= 3; s++ {
+			step(tree, s)
+		}
+		// Crash partway into step 4's persist.
+		sim.StepField(tree, d, 4, maxLevel)
+		tree.SetFeatures(sim.FeatureOf(d, 5))
+		nv.CutPowerAfter(cutWrites)
+		func() {
+			defer func() { recover() }()
+			tree.Persist()
+		}()
+		nv.RestorePower()
+
+		restored, err := core.Restore(core.Config{NVBMDevice: nv, Seed: 4})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cutWrites, err)
+		}
+		// Resume from whatever committed: re-run the lost step if needed,
+		// then continue to the end.
+		for s := int(restored.Step()); s <= steps; s++ {
+			step(restored, s)
+		}
+		got := map[morton.Code][core.DataWords]float64{}
+		restored.ForEachLeaf(func(c morton.Code, data [core.DataWords]float64) bool {
+			got[c] = data
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d leaves vs %d crash-free", cutWrites, len(got), len(want))
+		}
+		for c, w := range want {
+			if got[c] != w {
+				t.Fatalf("cut %d: leaf %v diverged", cutWrites, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package recovery reproduces the failure-recovery experiment of §5.6:
+// kill a running simulation mid-step and measure the time to restart it,
+// for each octree implementation, in two scenarios — the crashed node
+// comes back (its NVBM contents survive), or a replacement node takes
+// over (NVBM contents must come from a replica).
+//
+// Restart costs, by implementation:
+//
+//   - in-core: the full snapshot file is read back from NVBM through the
+//     page interface and the pointer tree rebuilt; any steps after the
+//     last snapshot are lost.
+//   - PM-octree, same node: pm_restore — reopen the arena (a state-byte
+//     scan) and return ADDR(V(i-1)); octants only reachable from the lost
+//     working version are left for background GC.
+//   - PM-octree, new node: additionally move the replica of V(i-1) over
+//     the network. Replicas are kept consistent during the run by
+//     shipping per-step deltas (the paper stores "the differences of
+//     V(i-1) and V(i)" on a peer node, exploiting the high overlap
+//     ratio).
+//   - out-of-core, same node: the octant database is already consistent;
+//     recovery is immediate.
+//   - out-of-core, new node: unrecoverable — Etree octants are not
+//     replicated (§5.6).
+package recovery
+
+import (
+	"fmt"
+
+	"pmoctree/internal/cluster"
+	"pmoctree/internal/core"
+	"pmoctree/internal/etree"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+)
+
+// Config parameterizes the recovery experiment.
+type Config struct {
+	// Impl is the octree implementation under test.
+	Impl cluster.Impl
+	// SameNode selects the recovery scenario: true if the crashed node
+	// reboots with its NVBM intact.
+	SameNode bool
+	// MaxLevel bounds mesh refinement.
+	MaxLevel uint8
+	// CrashStep is the step during which the process is killed.
+	CrashStep int
+	// DropletSteps is the workload length.
+	DropletSteps int
+	// Net models the interconnect for replica traffic.
+	Net cluster.Network
+	// Cost prices CPU work during restart (tree rebuild).
+	Cost cluster.CostModel
+	// Replicate enables delta-shipping of the persistent version to a
+	// peer node (PM-octree only; the paper's user-enabled feature).
+	Replicate bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Impl == "" {
+		c.Impl = cluster.PMOctree
+	}
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 5
+	}
+	if c.CrashStep <= 0 {
+		c.CrashStep = 10
+	}
+	if c.DropletSteps <= 0 {
+		c.DropletSteps = 50
+	}
+	if c.Net == (cluster.Network{}) {
+		c.Net = cluster.Gemini()
+	}
+	if c.Cost == (cluster.CostModel{}) {
+		c.Cost = cluster.DefaultCost()
+	}
+	return c
+}
+
+// Report is the outcome of one recovery scenario.
+type Report struct {
+	Impl     cluster.Impl
+	SameNode bool
+	// Recovered is false when the scenario cannot recover at all
+	// (out-of-core on a lost node).
+	Recovered bool
+	// RestartNs is the modeled time to make the mesh usable again.
+	RestartNs float64
+	// ReplicaMoveNs is the portion of RestartNs spent moving the replica
+	// to the replacement node (PM-octree, lost node).
+	ReplicaMoveNs float64
+	// ReplicationOverheadNs is the modeled network time spent shipping
+	// deltas during the run (the price of enabling replication).
+	ReplicationOverheadNs float64
+	// Elements is the mesh size recovered.
+	Elements int
+	// StepResumed is the time step the recovered state corresponds to.
+	StepResumed int
+	// StepsLost counts steps of work lost (in-core loses work since the
+	// last snapshot).
+	StepsLost int
+}
+
+// Run executes the crash/restart scenario.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	d := sim.NewDroplet(sim.DropletConfig{Steps: cfg.DropletSteps})
+	rep := Report{Impl: cfg.Impl, SameNode: cfg.SameNode}
+
+	switch cfg.Impl {
+	case cluster.PMOctree:
+		return runPM(cfg, d, rep)
+	case cluster.InCore:
+		return runInCore(cfg, d, rep)
+	case cluster.OutOfCore:
+		return runEtree(cfg, d, rep)
+	default:
+		return rep, fmt.Errorf("recovery: unknown implementation %q", cfg.Impl)
+	}
+}
+
+func runPM(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
+	nv := nvbm.New(nvbm.NVBM, 0)
+	dram := nvbm.New(nvbm.DRAM, 0)
+	tree := core.Create(core.Config{NVBMDevice: nv, DRAMDevice: dram})
+
+	var replica *nvbm.Device
+	var lastShipped uint64
+	for s := 1; s < cfg.CrashStep; s++ {
+		sim.Step(tree, d, s, cfg.MaxLevel)
+		tree.SetFeatures(d.Feature(s + 1))
+		tree.Persist()
+		if cfg.Replicate || !cfg.SameNode {
+			// Ship the bytes written to NVBM since the last sync — the
+			// version delta — to the peer.
+			written := nv.Stats().WriteBytes
+			delta := written - lastShipped
+			lastShipped = written
+			rep.ReplicationOverheadNs += cfg.Net.Transfer(int(delta))
+			replica = nv.Clone()
+		}
+	}
+	// Crash mid-step: the working version is partially built when power
+	// fails.
+	tree.RefineWhere(d.RefinePred(cfg.CrashStep), cfg.MaxLevel)
+	dram.Crash()
+
+	// Restart.
+	device := nv
+	if !cfg.SameNode {
+		if replica == nil {
+			return rep, fmt.Errorf("recovery: no replica available for lost-node recovery")
+		}
+		// The replacement node pulls the replica image over the network.
+		moved := replica.Size()
+		rep.ReplicaMoveNs = cfg.Net.Transfer(moved)
+		device = replica
+	}
+	m0 := float64(device.Stats().ModeledNs)
+	restored, err := core.Restore(core.Config{NVBMDevice: device, DRAMDevice: nvbm.New(nvbm.DRAM, 0)})
+	if err != nil {
+		return rep, err
+	}
+	rep.RestartNs = float64(device.Stats().ModeledNs) - m0 + rep.ReplicaMoveNs
+	rep.Recovered = true
+	rep.Elements = restored.LeafCount()
+	rep.StepResumed = cfg.CrashStep - 1
+	return rep, nil
+}
+
+func runInCore(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
+	snap := nvbm.New(nvbm.NVBM, 0)
+	m := sim.NewInCore(snap)
+	lastSnap := 0
+	for s := 1; s < cfg.CrashStep; s++ {
+		sim.Step(m, d, s, cfg.MaxLevel)
+		if err := m.PersistStep(s); err != nil {
+			return rep, err
+		}
+		if s%m.SnapshotEvery == 0 {
+			lastSnap = s
+		}
+	}
+	if lastSnap == 0 {
+		return rep, fmt.Errorf("recovery: crashed before the first snapshot; nothing to restore")
+	}
+	// Crash: the pointer tree lives in process memory and is simply
+	// gone. Snapshot files survive — on the crashed node's NVBM or on
+	// the shared parallel file system (the paper notes the time is the
+	// same in both scenarios for in-core).
+	m0 := float64(snap.Stats().ModeledNs)
+	tree, err := func() (*sim.InCore, error) {
+		t, err := snapshotRestore(snap)
+		return t, err
+	}()
+	if err != nil {
+		return rep, err
+	}
+	rebuildCPU := float64(tree.Tree.NodeCount()) * cfg.Cost.TraverseNs
+	rep.RestartNs = float64(snap.Stats().ModeledNs) - m0 + rebuildCPU
+	rep.Recovered = true
+	rep.Elements = tree.LeafCount()
+	rep.StepResumed = lastSnap
+	rep.StepsLost = cfg.CrashStep - 1 - lastSnap
+	return rep, nil
+}
+
+// snapshotRestore reloads the in-core tree from its snapshot device.
+func snapshotRestore(snap *nvbm.Device) (*sim.InCore, error) {
+	t, err := snapshotTree(snap)
+	if err != nil {
+		return nil, err
+	}
+	m := sim.NewInCore(snap)
+	m.Tree = t
+	return m, nil
+}
+
+func runEtree(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	m := etree.New(dev)
+	for s := 1; s < cfg.CrashStep; s++ {
+		sim.Step(m, d, s, cfg.MaxLevel)
+	}
+	if !cfg.SameNode {
+		// Octants in the Etree database are not replicated (§5.6).
+		rep.Recovered = false
+		return rep, nil
+	}
+	m0 := float64(dev.Stats().ModeledNs)
+	re, err := etree.Open(dev)
+	if err != nil {
+		return rep, err
+	}
+	rep.RestartNs = float64(dev.Stats().ModeledNs) - m0
+	rep.Recovered = true
+	rep.Elements = re.LeafCount()
+	rep.StepResumed = cfg.CrashStep - 1
+	return rep, nil
+}

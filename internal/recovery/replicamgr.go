@@ -1,0 +1,142 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"pmoctree/internal/cluster"
+	"pmoctree/internal/nvbm"
+)
+
+// Node is one machine in the replica pool, with its NVBM device and the
+// replica images it hosts for other nodes.
+type Node struct {
+	ID       int
+	replicas map[int]*nvbm.Device // primary node id -> replica image
+	// usedBytes approximates this node's NVBM utilization for placement.
+	usedBytes int
+	capacity  int
+}
+
+// Used returns the node's consumed replica bytes.
+func (n *Node) Used() int { return n.usedBytes }
+
+// ReplicaManager automates remote-replica scheduling — the paper's §3.4
+// feature ("V(i-1)^P is stored on other compute nodes or staging nodes
+// selected by job schedulers according to their NVBM utilization") with
+// the automated placement it leaves as future work:
+//
+//   - Place picks the least-utilized node (never the primary itself);
+//   - Sync ships only the bytes written since the last sync, which the
+//     high inter-step overlap ratio keeps small;
+//   - Recover hands the replica image to a replacement node.
+type ReplicaManager struct {
+	nodes []*Node
+	net   cluster.Network
+	// placement maps a primary node id to its replica host.
+	placement map[int]int
+	// lastSynced tracks cumulative written bytes per primary at the
+	// last sync, to compute deltas.
+	lastSynced map[int]uint64
+	// ShippedBytes and ShippedNs accumulate replication traffic.
+	ShippedBytes uint64
+	ShippedNs    float64
+}
+
+// NewReplicaManager builds a pool of n nodes, each with the given replica
+// capacity in bytes, connected by net.
+func NewReplicaManager(n int, capacityBytes int, net cluster.Network) *ReplicaManager {
+	m := &ReplicaManager{
+		net:        net,
+		placement:  map[int]int{},
+		lastSynced: map[int]uint64{},
+	}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, &Node{
+			ID:       i,
+			replicas: map[int]*nvbm.Device{},
+			capacity: capacityBytes,
+		})
+	}
+	return m
+}
+
+// Place assigns (or returns the existing) replica host for the primary on
+// node primaryID needing approximately bytes of space: the least-utilized
+// node with capacity, excluding the primary itself.
+func (m *ReplicaManager) Place(primaryID int, bytes int) (*Node, error) {
+	if host, ok := m.placement[primaryID]; ok {
+		return m.nodes[host], nil
+	}
+	candidates := make([]*Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		if n.ID == primaryID {
+			continue
+		}
+		if n.capacity > 0 && n.usedBytes+bytes > n.capacity {
+			continue
+		}
+		candidates = append(candidates, n)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("recovery: no node can host a %d-byte replica for node %d", bytes, primaryID)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].usedBytes != candidates[j].usedBytes {
+			return candidates[i].usedBytes < candidates[j].usedBytes
+		}
+		return candidates[i].ID < candidates[j].ID
+	})
+	host := candidates[0]
+	m.placement[primaryID] = host.ID
+	return host, nil
+}
+
+// Sync replicates the primary's persistent region to its host, shipping
+// only the delta written since the last sync. Call it after each Persist.
+func (m *ReplicaManager) Sync(primaryID int, primary *nvbm.Device) error {
+	host, err := m.Place(primaryID, primary.Size())
+	if err != nil {
+		return err
+	}
+	written := primary.Stats().WriteBytes
+	delta := written - m.lastSynced[primaryID]
+	m.lastSynced[primaryID] = written
+
+	old := host.replicas[primaryID]
+	host.replicas[primaryID] = primary.Clone()
+	if old != nil {
+		host.usedBytes -= old.Size()
+	}
+	host.usedBytes += primary.Size()
+
+	m.ShippedBytes += delta
+	m.ShippedNs += m.net.Transfer(int(delta))
+	return nil
+}
+
+// Recover returns a copy of the replica image for the failed primary,
+// charging the transfer to the replacement node. The replica itself stays
+// on its host (it remains the recovery point until the replacement
+// re-syncs).
+func (m *ReplicaManager) Recover(primaryID int) (*nvbm.Device, float64, error) {
+	hostID, ok := m.placement[primaryID]
+	if !ok {
+		return nil, 0, fmt.Errorf("recovery: node %d has no replica", primaryID)
+	}
+	img := m.nodes[hostID].replicas[primaryID]
+	if img == nil {
+		return nil, 0, fmt.Errorf("recovery: replica for node %d missing on host %d", primaryID, hostID)
+	}
+	ns := m.net.Transfer(img.Size())
+	return img.Clone(), ns, nil
+}
+
+// HostOf reports which node hosts the replica for primaryID.
+func (m *ReplicaManager) HostOf(primaryID int) (int, bool) {
+	h, ok := m.placement[primaryID]
+	return h, ok
+}
+
+// Nodes exposes the pool for inspection.
+func (m *ReplicaManager) Nodes() []*Node { return m.nodes }

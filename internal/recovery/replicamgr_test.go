@@ -1,0 +1,148 @@
+package recovery
+
+import (
+	"testing"
+
+	"pmoctree/internal/cluster"
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+)
+
+func TestPlacePicksLeastUtilized(t *testing.T) {
+	m := NewReplicaManager(3, 1<<20, cluster.Gemini())
+	m.Nodes()[1].usedBytes = 1000
+
+	host, err := m.Place(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.ID != 2 {
+		t.Errorf("placed on node %d, want 2 (least utilized, not primary)", host.ID)
+	}
+	// Placement is sticky.
+	again, _ := m.Place(0, 100)
+	if again.ID != host.ID {
+		t.Error("placement not sticky")
+	}
+}
+
+func TestPlaceNeverSelf(t *testing.T) {
+	m := NewReplicaManager(2, 1<<20, cluster.Gemini())
+	host, err := m.Place(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.ID == 1 {
+		t.Error("replica placed on the primary itself")
+	}
+}
+
+func TestPlaceCapacityExhausted(t *testing.T) {
+	m := NewReplicaManager(2, 50, cluster.Gemini())
+	if _, err := m.Place(0, 100); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestSyncAndRecoverRoundTrip(t *testing.T) {
+	m := NewReplicaManager(4, 1<<22, cluster.Gemini())
+	nv := nvbm.New(nvbm.NVBM, 0)
+	tree := core.Create(core.Config{NVBMDevice: nv})
+	d := sim.NewDroplet(sim.DropletConfig{Steps: 30})
+
+	for s := 1; s <= 3; s++ {
+		sim.Step(tree, d, s, 4)
+		tree.Persist()
+		if err := m.Sync(0, nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := tree.LeafCount()
+	if m.ShippedBytes == 0 || m.ShippedNs == 0 {
+		t.Error("no replication traffic accounted")
+	}
+	// Deltas, not full images: shipped bytes should far undercut 3 full
+	// copies.
+	if m.ShippedBytes >= uint64(3*nv.Size()) {
+		t.Errorf("shipped %d bytes for 3 syncs of a %d-byte region: not delta-based",
+			m.ShippedBytes, nv.Size())
+	}
+
+	// The primary's node burns down; a replacement recovers the image.
+	img, moveNs, err := m.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moveNs <= 0 {
+		t.Error("free replica move")
+	}
+	restored, err := core.Restore(core.Config{NVBMDevice: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.LeafCount() != want {
+		t.Errorf("recovered %d leaves, want %d", restored.LeafCount(), want)
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered tree keeps simulating.
+	sim.Step(restored, d, 4, 4)
+	restored.Persist()
+}
+
+func TestRecoverWithoutReplica(t *testing.T) {
+	m := NewReplicaManager(2, 1<<20, cluster.Gemini())
+	if _, _, err := m.Recover(0); err == nil {
+		t.Error("expected error for unreplicated node")
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	m := NewReplicaManager(4, 1<<20, cluster.Gemini())
+	// Three primaries from node 0..2 should not pile onto one host.
+	hosts := map[int]int{}
+	for p := 0; p < 3; p++ {
+		dev := nvbm.New(nvbm.NVBM, 4096)
+		dev.WriteAt(0, make([]byte, 64))
+		if err := m.Sync(p, dev); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := m.HostOf(p)
+		hosts[h]++
+	}
+	for h, n := range hosts {
+		if n > 2 {
+			t.Errorf("host %d carries %d replicas; placement not spreading", h, n)
+		}
+	}
+}
+
+func TestSyncKeepsLatestVersionOnly(t *testing.T) {
+	m := NewReplicaManager(2, 1<<22, cluster.Gemini())
+	nv := nvbm.New(nvbm.NVBM, 0)
+	tree := core.Create(core.Config{NVBMDevice: nv})
+	tree.RefineWhere(func(c morton.Code) bool { return c.Level() < 1 }, 1)
+	tree.Persist()
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	tree.RefineWhere(func(c morton.Code) bool { return c.Level() < 2 }, 2)
+	tree.Persist()
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := m.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.Restore(core.Config{NVBMDevice: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.LeafCount() != 64 {
+		t.Errorf("replica holds %d leaves, want the latest version's 64", restored.LeafCount())
+	}
+}

@@ -1,0 +1,12 @@
+package recovery
+
+import (
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/octree"
+)
+
+// snapshotTree reads the in-core baseline's snapshot file back from the
+// device through the page interface — the expensive part of its restart.
+func snapshotTree(dev *nvbm.Device) (*octree.Tree, error) {
+	return octree.SnapshotFromDevice(dev)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+
+	"pmoctree/internal/morton"
+)
+
+// Field is a time-dependent implicit interface driving adaptive meshing:
+// the liquid (or vapor) surface is the zero level set of Phi, negative
+// inside. The droplet-ejection, drop-impact and boiling workloads all
+// implement it, so the AMR step driver and the distributed simulation run
+// any of them interchangeably.
+type Field interface {
+	// PhiAtStep evaluates the approximate signed distance at step s.
+	PhiAtStep(x, y, z float64, step int) float64
+	// Steps is the nominal workload length.
+	Steps() int
+	// Speed is the characteristic interface velocity, used by the solve
+	// phase's velocity field.
+	Speed() float64
+}
+
+// RefinePredOf returns the refinement criterion for step s on any field:
+// an octant refines while its region may intersect the interface band.
+// The test is conservative by the octant's half-diagonal, so coarse
+// octants crossed by the surface always refine.
+func RefinePredOf(f Field, step int) func(morton.Code) bool {
+	return func(c morton.Code) bool {
+		x, y, z := c.Center()
+		phi := f.PhiAtStep(x, y, z, step)
+		return math.Abs(phi) <= halfDiag(c)*1.05
+	}
+}
+
+// CoarsenPredOf returns the coarsening criterion for step s: a sibling
+// group collapses when its parent's region is comfortably clear of the
+// interface (hysteresis avoids refine/coarsen thrash).
+func CoarsenPredOf(f Field, step int) func(morton.Code) bool {
+	return func(c morton.Code) bool {
+		x, y, z := c.Center()
+		phi := f.PhiAtStep(x, y, z, step)
+		return math.Abs(phi) > 2.2*halfDiag(c)
+	}
+}
+
+// FeatureOf returns the feature function handed to PM-octree's
+// feature-directed sampling (§3.3): the next step's refinement criterion,
+// pre-executed to predict which subtrees the coming step will touch.
+func FeatureOf(f Field, nextStep int) func(morton.Code, [DataWords]float64) bool {
+	pred := RefinePredOf(f, nextStep)
+	return func(c morton.Code, _ [DataWords]float64) bool { return pred(c) }
+}
+
+// SolveOf returns the per-leaf relaxation sweep for step s (see
+// Droplet.Solve for the field semantics).
+func SolveOf(f Field, step int) func(morton.Code, *[DataWords]float64) bool {
+	return func(c morton.Code, data *[DataWords]float64) bool {
+		x, y, z := c.Center()
+		phi := f.PhiAtStep(x, y, z, step)
+		eps := c.Extent()
+		vof := quantize(smoothstep(-phi / eps))
+		target := math.Exp(-math.Abs(phi) * 8)
+		p := quantize(data[1] + 0.35*(target-data[1]))
+		w := quantize(-f.Speed() * vof)
+		if data[0] == vof && data[1] == p && data[3] == w {
+			return false
+		}
+		data[0] = vof
+		data[1] = p
+		data[2] = 0
+		data[3] = w
+		return true
+	}
+}
+
+// StepField advances mesh through one AMR time step of any workload:
+// Refine, Coarsen, Balance, then SolverSweeps relaxation sweeps.
+func StepField(m Mesh, f Field, step int, maxLevel uint8) StepCounts {
+	var sc StepCounts
+	sc.Refined = m.RefineWhere(RefinePredOf(f, step), maxLevel)
+	sc.Coarsened = m.CoarsenWhere(CoarsenPredOf(f, step))
+	sc.Balanced = m.Balance()
+	solve := SolveOf(f, step)
+	for it := 0; it < SolverSweeps; it++ {
+		n := m.UpdateLeaves(solve)
+		if it == 0 {
+			sc.Solved = n
+		}
+	}
+	sc.Leaves = m.LeafCount()
+	return sc
+}

@@ -1,0 +1,283 @@
+package sim
+
+import "math"
+
+// ImpactConfig parameterizes the drop-impact workload — the second
+// scenario the paper's introduction motivates ("droplet impact on a solid
+// surface", citing Josserand & Thoroddsen 2016). A droplet falls onto the
+// floor, deforms into a spreading lamella, throws up a crown rim, then
+// relaxes toward a sessile cap.
+type ImpactConfig struct {
+	// Steps is the nominal workload length.
+	Steps int
+	// Radius is the droplet radius before impact.
+	Radius float64
+	// FallSpeed is the approach velocity (domain units per unit time).
+	FallSpeed float64
+	// ReleaseHeight is the initial droplet center height.
+	ReleaseHeight float64
+}
+
+// Defaults fills unset parameters with the canonical scenario.
+func (c ImpactConfig) Defaults() ImpactConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Radius == 0 {
+		c.Radius = 0.1
+	}
+	if c.FallSpeed == 0 {
+		c.FallSpeed = 0.9
+	}
+	if c.ReleaseHeight == 0 {
+		c.ReleaseHeight = 0.75
+	}
+	return c
+}
+
+// DropImpact is the analytic drop-impact interface model (Field).
+type DropImpact struct {
+	cfg ImpactConfig
+	// tHit is the normalized impact time.
+	tHit float64
+}
+
+// NewDropImpact builds the workload.
+func NewDropImpact(cfg ImpactConfig) *DropImpact {
+	c := cfg.Defaults()
+	return &DropImpact{
+		cfg:  c,
+		tHit: (c.ReleaseHeight - c.Radius) / c.FallSpeed,
+	}
+}
+
+// Steps returns the configured step count.
+func (d *DropImpact) Steps() int { return d.cfg.Steps }
+
+// Speed returns the approach velocity (Field).
+func (d *DropImpact) Speed() float64 { return d.cfg.FallSpeed }
+
+// PhiAtStep evaluates the signed distance at step s (Field).
+func (d *DropImpact) PhiAtStep(x, y, z float64, step int) float64 {
+	return d.Phi(x, y, z, float64(step)/float64(d.cfg.Steps))
+}
+
+// Phi returns the approximate signed distance to the liquid surface at
+// normalized time t (negative inside the liquid).
+func (d *DropImpact) Phi(x, y, z, t float64) float64 {
+	c := d.cfg
+	r := math.Sqrt(sq(x-0.5) + sq(y-0.5)) // distance to the impact axis
+
+	if t < d.tHit {
+		// Free fall: a sphere descending toward the floor.
+		cz := c.ReleaseHeight - c.FallSpeed*t
+		return sphereDist(x, y, z, 0.5, 0.5, cz, c.Radius)
+	}
+
+	// Post-impact: a spreading lamella whose radius grows like sqrt of
+	// time-since-impact (Wagner-type spreading) while its height thins
+	// to conserve volume, plus a crown rim torus during the early phase.
+	dt := t - d.tHit
+	spread := 1 + 2.4*math.Sqrt(dt) // R(t)/R0
+	lamR := c.Radius * spread       // lamella radius
+	vol := 4.0 / 3.0 * math.Pi * c.Radius * c.Radius * c.Radius
+	lamH := vol / (math.Pi * lamR * lamR) // film thickness, volume conserved
+	phi := cylinderFloorDist(r, z, lamR, lamH)
+
+	// Crown rim: a torus riding the lamella edge, decaying after the
+	// early impact phase.
+	crown := 0.35 * c.Radius * math.Exp(-dt/0.08)
+	if crown > 0.004 {
+		ringR := lamR
+		dRing := math.Sqrt(sq(r-ringR) + sq(z-lamH))
+		phi = math.Min(phi, dRing-crown)
+	}
+	return phi
+}
+
+// cylinderFloorDist is the signed distance to a pancake of radius lamR and
+// height lamH sitting on the floor z=0.
+func cylinderFloorDist(r, z, lamR, lamH float64) float64 {
+	dr := r - lamR
+	dz := z - lamH
+	if dr <= 0 && dz <= 0 {
+		// Inside: distance to the nearest face (negative).
+		return math.Max(dr, dz)
+	}
+	if dr <= 0 {
+		return dz
+	}
+	if dz <= 0 {
+		return dr
+	}
+	return math.Sqrt(dr*dr + dz*dz)
+}
+
+// BoilingConfig parameterizes the rapid-boiling workload — the third
+// scenario the paper's introduction motivates ("rapid boiling flow",
+// citing Carey 2008): vapor bubbles nucleate on a heated floor beneath a
+// liquid pool, grow, detach, rise and burst at the free surface.
+type BoilingConfig struct {
+	// Steps is the nominal workload length.
+	Steps int
+	// PoolDepth is the liquid free-surface height.
+	PoolDepth float64
+	// Sites is the number of nucleation sites on the floor.
+	Sites int
+	// GrowthRate scales bubble growth (radius per unit time at a site).
+	GrowthRate float64
+	// RiseSpeed is the detached-bubble ascent speed.
+	RiseSpeed float64
+	// Seed places the nucleation sites deterministically.
+	Seed int64
+}
+
+// Defaults fills unset parameters.
+func (c BoilingConfig) Defaults() BoilingConfig {
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.PoolDepth == 0 {
+		c.PoolDepth = 0.6
+	}
+	if c.Sites <= 0 {
+		c.Sites = 6
+	}
+	if c.GrowthRate == 0 {
+		c.GrowthRate = 0.5
+	}
+	if c.RiseSpeed == 0 {
+		c.RiseSpeed = 0.8
+	}
+	return c
+}
+
+// Boiling is the analytic nucleate-boiling interface model (Field). The
+// tracked surface separates liquid from vapor: the pool's free surface
+// plus every bubble boundary.
+type Boiling struct {
+	cfg   BoilingConfig
+	sites []boilSite
+}
+
+type boilSite struct {
+	x, y   float64
+	birth  float64 // normalized time the first bubble nucleates
+	period float64 // bubble cycle length
+	detach float64 // radius at departure
+}
+
+// NewBoiling builds the workload; sites are placed by a deterministic
+// low-discrepancy rule so runs are reproducible.
+func NewBoiling(cfg BoilingConfig) *Boiling {
+	b := &Boiling{cfg: cfg.Defaults()}
+	// Halton-ish placement plus a seed-driven rotation.
+	rot := float64(b.cfg.Seed%97) / 97
+	for i := 0; i < b.cfg.Sites; i++ {
+		u := halton(i+1, 2)
+		v := halton(i+1, 3)
+		b.sites = append(b.sites, boilSite{
+			x:      0.15 + 0.7*math.Mod(u+rot, 1),
+			y:      0.15 + 0.7*math.Mod(v+rot*0.5, 1),
+			birth:  0.05 + 0.25*halton(i+1, 5),
+			period: 0.35 + 0.2*halton(i+1, 7),
+			detach: 0.05 + 0.03*halton(i+1, 11),
+		})
+	}
+	return b
+}
+
+func halton(i, base int) float64 {
+	f, r := 1.0, 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// Steps returns the configured step count.
+func (b *Boiling) Steps() int { return b.cfg.Steps }
+
+// Speed returns the bubble rise speed (Field).
+func (b *Boiling) Speed() float64 { return b.cfg.RiseSpeed }
+
+// PhiAtStep evaluates the signed distance at step s (Field).
+func (b *Boiling) PhiAtStep(x, y, z float64, step int) float64 {
+	return b.Phi(x, y, z, float64(step)/float64(b.cfg.Steps))
+}
+
+// Phi returns the approximate signed distance to the liquid-vapor
+// interface at normalized time t. By convention liquid is negative: the
+// pool below the free surface, excluding bubble interiors.
+func (b *Boiling) Phi(x, y, z, t float64) float64 {
+	// Pool free surface (liquid below).
+	phi := z - b.cfg.PoolDepth
+	// Bubbles carve vapor out of the liquid: phi = max(pool, -bubble).
+	for _, s := range b.sites {
+		if t < s.birth {
+			continue
+		}
+		// The site emits a bubble each period; model the current one and
+		// the previous one (still rising).
+		for k := 0; k < 2; k++ {
+			cycleStart := s.birth + math.Floor((t-s.birth)/s.period)*s.period - float64(k)*s.period
+			if cycleStart < s.birth-1e-12 {
+				continue
+			}
+			age := t - cycleStart
+			if age < 0 {
+				continue
+			}
+			rad := math.Min(b.cfg.GrowthRate*age, s.detach)
+			var cz float64
+			if b.cfg.GrowthRate*age < s.detach {
+				cz = rad * 0.8 // growing, attached to the floor
+			} else {
+				grow := s.detach / b.cfg.GrowthRate
+				cz = s.detach*0.8 + b.cfg.RiseSpeed*(age-grow)
+			}
+			if cz-rad > b.cfg.PoolDepth {
+				continue // burst at the surface
+			}
+			d := sphereDist(x, y, z, s.x, s.y, cz, rad)
+			// Vapor inside the bubble: flip the sign against the pool.
+			phi = math.Max(phi, -d)
+		}
+	}
+	return phi
+}
+
+// ActiveBubbles counts bubbles present at normalized time t (for tests
+// and reporting).
+func (b *Boiling) ActiveBubbles(t float64) int {
+	n := 0
+	for _, s := range b.sites {
+		if t < s.birth {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			cycleStart := s.birth + math.Floor((t-s.birth)/s.period)*s.period - float64(k)*s.period
+			if cycleStart < s.birth-1e-12 {
+				continue
+			}
+			age := t - cycleStart
+			if age < 0 {
+				continue
+			}
+			rad := math.Min(b.cfg.GrowthRate*age, s.detach)
+			var cz float64
+			if b.cfg.GrowthRate*age < s.detach {
+				cz = rad * 0.8
+			} else {
+				grow := s.detach / b.cfg.GrowthRate
+				cz = s.detach*0.8 + b.cfg.RiseSpeed*(age-grow)
+			}
+			if cz-rad <= b.cfg.PoolDepth {
+				n++
+			}
+		}
+	}
+	return n
+}

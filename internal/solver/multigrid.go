@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/octree"
+)
+
+// Multigrid is a geometric V-cycle solver for the Dirichlet Poisson
+// problem on UNIFORM octree meshes — the solver family Gerris uses. The
+// octree is its own grid hierarchy: level l's cells are the parents of
+// level l+1's, finite-volume restriction is summation of child residuals,
+// and prolongation is piecewise-constant injection. Iteration counts stay
+// flat as the mesh refines (O(N) total work), which is what distinguishes
+// it from the CG path (System.Solve) that also handles adaptive meshes.
+type Multigrid struct {
+	// systems[k] is the operator at level k+1 (systems[len-1] is the
+	// finest).
+	systems []*System
+	// parent[k][i] maps fine cell i at systems[k] to its parent's index
+	// in systems[k-1].
+	parent [][]int
+
+	// Smoother parameters: damped-Jacobi sweeps before/after coarse
+	// correction.
+	PreSmooth, PostSmooth int
+	Omega                 float64
+}
+
+// NewUniformMultigrid builds the hierarchy for the full uniform mesh at
+// the given level (>= 1).
+func NewUniformMultigrid(level uint8) (*Multigrid, error) {
+	if level < 1 {
+		return nil, fmt.Errorf("solver: multigrid needs level >= 1")
+	}
+	mg := &Multigrid{PreSmooth: 4, PostSmooth: 4, Omega: 0.85}
+	for l := uint8(1); l <= level; l++ {
+		tr := octree.New()
+		tr.RefineWhere(func(morton.Code) bool { return true }, l)
+		s, err := Build(tr.LeafCodes())
+		if err != nil {
+			return nil, err
+		}
+		mg.systems = append(mg.systems, s)
+	}
+	// Parent maps: child code's ancestor one level up.
+	mg.parent = make([][]int, len(mg.systems))
+	for k := 1; k < len(mg.systems); k++ {
+		fine, coarse := mg.systems[k], mg.systems[k-1]
+		m := make([]int, fine.N())
+		for i, c := range fine.codes {
+			p, ok := coarse.index[c.Parent()]
+			if !ok {
+				return nil, fmt.Errorf("solver: missing parent of %v in level %d", c, k)
+			}
+			m[i] = p
+		}
+		mg.parent[k] = m
+	}
+	return mg, nil
+}
+
+// Fine returns the finest-level operator (for assembling right-hand
+// sides and reading cell geometry).
+func (mg *Multigrid) Fine() *System { return mg.systems[len(mg.systems)-1] }
+
+// N returns the fine-grid cell count.
+func (mg *Multigrid) N() int { return mg.Fine().N() }
+
+// smooth performs damped-Jacobi sweeps on A x = rhs at level k.
+func (mg *Multigrid) smooth(k int, x, rhs, scratch []float64, sweeps int) {
+	s := mg.systems[k]
+	for it := 0; it < sweeps; it++ {
+		s.Apply(x, scratch)
+		for i := range x {
+			x[i] += mg.Omega * (rhs[i] - scratch[i]) / s.diag[i]
+		}
+	}
+}
+
+// vcycle runs one V-cycle at level k for A x = rhs (integrated FV units).
+func (mg *Multigrid) vcycle(k int, x, rhs []float64) {
+	s := mg.systems[k]
+	scratch := make([]float64, s.N())
+	if k == 0 {
+		// Coarsest grid (8 cells): smooth to convergence.
+		mg.smooth(0, x, rhs, scratch, 50)
+		return
+	}
+	mg.smooth(k, x, rhs, scratch, mg.PreSmooth)
+
+	// Residual, restricted by summation (FV integrated quantities).
+	s.Apply(x, scratch)
+	coarse := mg.systems[k-1]
+	crhs := make([]float64, coarse.N())
+	for i := range scratch {
+		crhs[mg.parent[k][i]] += rhs[i] - scratch[i]
+	}
+	ce := make([]float64, coarse.N())
+	mg.vcycle(k-1, ce, crhs)
+
+	// Prolongate (inject) and correct.
+	for i := range x {
+		x[i] += ce[mg.parent[k][i]]
+	}
+	mg.smooth(k, x, rhs, scratch, mg.PostSmooth)
+}
+
+// Solve runs V-cycles on A x = b*V until the relative residual drops
+// below opt.Tol. Result.Iterations counts V-cycles.
+func (mg *Multigrid) Solve(b []float64, x []float64, opt Options) (Result, error) {
+	s := mg.Fine()
+	n := s.N()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("solver: vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	rhs := make([]float64, n)
+	for i, c := range s.codes {
+		e := c.Extent()
+		rhs[i] = b[i] * e * e * e
+	}
+	norm0 := math.Sqrt(dot(rhs, rhs))
+	if norm0 == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Result{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	var res Result
+	for res.Iterations = 0; res.Iterations < opt.MaxIter; res.Iterations++ {
+		s.Apply(x, r)
+		for i := range r {
+			r[i] = rhs[i] - r[i]
+		}
+		res.Residual = math.Sqrt(dot(r, r)) / norm0
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		mg.vcycle(len(mg.systems)-1, x, rhs)
+	}
+	s.Apply(x, r)
+	for i := range r {
+		r[i] = rhs[i] - r[i]
+	}
+	res.Residual = math.Sqrt(dot(r, r)) / norm0
+	res.Converged = res.Residual <= opt.Tol
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultigridSolvesManufactured(t *testing.T) {
+	mg, err := NewUniformMultigrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mg.Fine()
+	n := s.N()
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cx, cy, cz := s.Center(i)
+		b[i] = 3 * math.Pi * math.Pi * manufactured(cx, cy, cz)
+	}
+	res, err := mg.Solve(b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	// Discretization error vs the exact solution.
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		cx, cy, cz := s.Center(i)
+		e := s.Extent(i)
+		v := e * e * e
+		d := x[i] - manufactured(cx, cy, cz)
+		num += d * d * v
+		den += manufactured(cx, cy, cz) * manufactured(cx, cy, cz) * v
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Errorf("relative L2 error %v", rel)
+	}
+}
+
+func TestMultigridMatchesCG(t *testing.T) {
+	mg, err := NewUniformMultigrid(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mg.Fine()
+	n := s.N()
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cx, cy, cz := s.Center(i)
+		b[i] = cx + 2*cy - cz
+	}
+	xmg := make([]float64, n)
+	xcg := make([]float64, n)
+	if _, err := mg.Solve(b, xmg, Options{Tol: 1e-11}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(b, xcg, Options{Tol: 1e-11}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(xmg[i]-xcg[i]) > 1e-7*(1+math.Abs(xcg[i])) {
+			t.Fatalf("cell %d: MG %v vs CG %v", i, xmg[i], xcg[i])
+		}
+	}
+}
+
+func TestMultigridIterationsFlatAcrossLevels(t *testing.T) {
+	// The point of multigrid: V-cycle counts stay ~constant as the mesh
+	// refines, while CG iterations grow like 1/h.
+	var mgIters, cgIters []int
+	for _, level := range []uint8{3, 4, 5} {
+		mg, err := NewUniformMultigrid(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mg.Fine()
+		n := s.N()
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cx, cy, cz := s.Center(i)
+			b[i] = 3 * math.Pi * math.Pi * manufactured(cx, cy, cz)
+		}
+		x := make([]float64, n)
+		res, err := mg.Solve(b, x, Options{Tol: 1e-8})
+		if err != nil || !res.Converged {
+			t.Fatalf("level %d MG: %+v %v", level, res, err)
+		}
+		mgIters = append(mgIters, res.Iterations)
+
+		x2 := make([]float64, n)
+		res2, err := s.Solve(b, x2, Options{Tol: 1e-8})
+		if err != nil || !res2.Converged {
+			t.Fatalf("level %d CG: %+v %v", level, res2, err)
+		}
+		cgIters = append(cgIters, res2.Iterations)
+	}
+	// Cell-centered injection multigrid is mildly h-dependent near the
+	// Dirichlet walls, but its growth must stay far below CG's ~1/h.
+	mgGrowth := float64(mgIters[2]) / float64(mgIters[0])
+	cgGrowth := float64(cgIters[2]) / float64(cgIters[0])
+	if mgGrowth > 2 {
+		t.Errorf("MG iterations grew %vx: %v", mgGrowth, mgIters)
+	}
+	if cgGrowth < mgGrowth*1.3 {
+		t.Errorf("CG growth %vx not clearly above MG growth %vx (CG %v, MG %v)",
+			cgGrowth, mgGrowth, cgIters, mgIters)
+	}
+	t.Logf("V-cycles per level: %v; CG iterations: %v", mgIters, cgIters)
+}
+
+func TestMultigridZeroRHS(t *testing.T) {
+	mg, err := NewUniformMultigrid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, mg.N())
+	x := make([]float64, mg.N())
+	x[0] = 3
+	res, err := mg.Solve(b, x, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("%+v %v", res, err)
+	}
+	for i, v := range x {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMultigridErrors(t *testing.T) {
+	if _, err := NewUniformMultigrid(0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	mg, _ := NewUniformMultigrid(2)
+	if _, err := mg.Solve(make([]float64, 1), make([]float64, mg.N()), Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

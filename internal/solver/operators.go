@@ -1,0 +1,244 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"pmoctree/internal/morton"
+)
+
+// axisOf maps a direction index to its axis (0=x, 1=y, 2=z) and sign.
+func axisOf(di int) (axis int, sign float64) {
+	axis = di / 2
+	if di%2 == 0 {
+		sign = 1
+	} else {
+		sign = -1
+	}
+	return
+}
+
+// Divergence computes the cell-centered discrete divergence of the
+// velocity field (u, v, w), per unit volume:
+//
+//	div_i = (1/V_i) * sum_f A_f * (n_f . u_f)
+//
+// with face velocity taken as the average of the two adjacent cells and
+// zero at walls (no-penetration boundaries).
+func (s *System) Divergence(u, v, w []float64, out []float64) {
+	comp := [3][]float64{u, v, w}
+	for i, c := range s.codes {
+		e := c.Extent()
+		vol := e * e * e
+		acc := 0.0
+		for _, f := range s.faces[i] {
+			axis, sign := axisOf(f.dir)
+			var uf float64
+			if f.neighbor >= 0 {
+				uf = 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+			} else {
+				uf = 0 // wall: no flow through
+			}
+			acc += sign * f.area * uf
+		}
+		out[i] = acc / vol
+	}
+}
+
+// Gradient computes a cell-centered estimate of grad(p) using
+// transmissibility-weighted face differences (walls contribute nothing:
+// homogeneous Neumann for the projection gradient).
+func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
+	out := [3][]float64{gx, gy, gz}
+	var wsum [3]float64
+	var acc [3]float64
+	for i, c := range s.codes {
+		h := c.Extent()
+		for a := 0; a < 3; a++ {
+			wsum[a], acc[a] = 0, 0
+		}
+		for _, f := range s.faces[i] {
+			if f.neighbor < 0 {
+				continue
+			}
+			axis, sign := axisOf(f.dir)
+			hj := s.codes[f.neighbor].Extent()
+			d := (h + hj) / 2
+			acc[axis] += f.area * sign * (p[f.neighbor] - p[i]) / d
+			wsum[axis] += f.area
+		}
+		for a := 0; a < 3; a++ {
+			if wsum[a] > 0 {
+				out[a][i] = acc[a] / wsum[a]
+			} else {
+				out[a][i] = 0
+			}
+		}
+	}
+}
+
+// ApplyNeumann computes y = A_N x, the Neumann (wall-flux-free) variant
+// of the operator: wall faces contribute nothing, so constants span the
+// null space. This is the projection operator of incompressible flow with
+// no-penetration walls.
+func (s *System) ApplyNeumann(x, y []float64) {
+	for i := range s.codes {
+		acc := 0.0
+		for _, f := range s.faces[i] {
+			if f.neighbor < 0 {
+				continue
+			}
+			acc += f.t * (x[i] - x[f.neighbor])
+		}
+		y[i] = acc
+	}
+}
+
+// SolveNeumann runs CG on the (singular, semidefinite) Neumann operator:
+// A_N x = b*V. The right-hand side must be compatible (sum to zero), which
+// wall-bounded divergence fields satisfy by the divergence theorem; the
+// returned solution is volume-mean-free.
+func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, error) {
+	n := s.N()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("solver: vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	rhs := make([]float64, n)
+	var rhsSum, volSum float64
+	for i, c := range s.codes {
+		e := c.Extent()
+		v := e * e * e
+		rhs[i] = b[i] * v
+		rhsSum += rhs[i]
+		volSum += v
+	}
+	// Enforce compatibility exactly: remove the (tiny) incompatible
+	// component that floating point left behind.
+	for i, c := range s.codes {
+		e := c.Extent()
+		rhs[i] -= rhsSum * (e * e * e) / volSum
+	}
+
+	// Neumann diagonal (wall terms excluded) for the Jacobi preconditioner.
+	diag := make([]float64, n)
+	for i := range s.codes {
+		for _, f := range s.faces[i] {
+			if f.neighbor >= 0 {
+				diag[i] += f.t
+			}
+		}
+		if diag[i] == 0 {
+			diag[i] = 1 // isolated cell (single-cell mesh)
+		}
+	}
+
+	r := make([]float64, n)
+	s.ApplyNeumann(x, r)
+	for i := range r {
+		r[i] = rhs[i] - r[i]
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = r[i] / diag[i]
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	norm0 := math.Sqrt(dot(rhs, rhs))
+	if norm0 == 0 {
+		return Result{Converged: true}, nil
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < opt.MaxIter; res.Iterations++ {
+		res.Residual = math.Sqrt(dot(r, r)) / norm0
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			break
+		}
+		s.ApplyNeumann(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			break // numerical null-space contamination
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		for i := range z {
+			z[i] = r[i] / diag[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	// Pin the solution: remove the volume-weighted mean.
+	var xm float64
+	for i, c := range s.codes {
+		e := c.Extent()
+		xm += x[i] * e * e * e
+	}
+	xm /= volSum
+	for i := range x {
+		x[i] -= xm
+	}
+	res.Converged = res.Converged || res.Residual <= opt.Tol
+	return res, nil
+}
+
+// ProjectedDivergence computes the divergence of the face-corrected
+// velocity field: face-normal velocities avg(u_i, u_j) minus the pressure
+// flux dt (p_j - p_i)/d on interior faces (walls stay impermeable). With
+// p from SolveNeumann(-div/dt) this is zero to solver tolerance — the
+// exact discrete projection.
+func (s *System) ProjectedDivergence(u, v, w, p []float64, dt float64, out []float64) {
+	comp := [3][]float64{u, v, w}
+	for i, c := range s.codes {
+		e := c.Extent()
+		vol := e * e * e
+		acc := 0.0
+		for _, f := range s.faces[i] {
+			if f.neighbor < 0 {
+				continue
+			}
+			axis, sign := axisOf(f.dir)
+			uf := 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+			// Outward-normal correction: u_out -= dt (p_j - p_i)/d,
+			// i.e. flux -= dt * T * (p_j - p_i).
+			acc += sign*f.area*uf - dt*f.t*(p[f.neighbor]-p[i])
+		}
+		out[i] = acc / vol
+	}
+}
+
+// CellAt returns the index of the cell containing the point (x, y, z) in
+// the unit cube, or false when the point is outside.
+func (s *System) CellAt(x, y, z float64) (int, bool) {
+	if x < 0 || x >= 1 || y < 0 || y >= 1 || z < 0 || z >= 1 {
+		return 0, false
+	}
+	grid := float64(uint64(1) << morton.MaxLevel)
+	code := morton.Encode(uint32(x*grid), uint32(y*grid), uint32(z*grid), morton.MaxLevel)
+	if j, ok := s.index[code]; ok {
+		return j, true
+	}
+	if j, _, ok := s.findCoarser(code, morton.MaxLevel); ok {
+		return j, true
+	}
+	return 0, false
+}
+
+// Extent returns cell i's edge length.
+func (s *System) Extent(i int) float64 { return s.codes[i].Extent() }
+
+// Center returns cell i's center.
+func (s *System) Center(i int) (float64, float64, float64) { return s.codes[i].Center() }

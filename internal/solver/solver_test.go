@@ -1,0 +1,250 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/octree"
+)
+
+// uniformLeaves returns the codes of a uniform level-l tiling.
+func uniformLeaves(l uint8) []morton.Code {
+	tr := octree.New()
+	tr.RefineWhere(func(morton.Code) bool { return true }, l)
+	return tr.LeafCodes()
+}
+
+// adaptiveLeaves returns a balanced adaptive tiling refined around a
+// sphere surface.
+func adaptiveLeaves(maxLevel uint8) []morton.Code {
+	tr := octree.New()
+	tr.RefineWhere(func(c morton.Code) bool {
+		x, y, z := c.Center()
+		h := c.Extent()
+		d := math.Sqrt((x-0.5)*(x-0.5) + (y-0.5)*(y-0.5) + (z-0.5)*(z-0.5))
+		return math.Abs(d-0.3) < h
+	}, maxLevel)
+	tr.Balance()
+	return tr.LeafCodes()
+}
+
+func TestBuildUniform(t *testing.T) {
+	s, err := Build(uniformLeaves(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 64 {
+		t.Fatalf("N = %d", s.N())
+	}
+	// Every cell has exactly 6 faces on a uniform grid.
+	for i := range s.faces {
+		if len(s.faces[i]) != 6 {
+			t.Fatalf("cell %d has %d faces", i, len(s.faces[i]))
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Build([]morton.Code{morton.Root, morton.Root}); err == nil {
+		t.Error("duplicate cells accepted")
+	}
+	// A non-tiling (missing octant).
+	leaves := uniformLeaves(1)
+	if _, err := Build(leaves[:7]); err == nil {
+		t.Error("incomplete tiling accepted")
+	}
+	// An unbalanced mesh: level-1 cell adjacent to level-3 cells.
+	tr := octree.New()
+	n := tr.Refine(tr.Root)[0]
+	n2 := tr.Refine(n)[7]
+	tr.Refine(n2)
+	if tr.IsBalanced() {
+		t.Skip("configuration unexpectedly balanced")
+	}
+	if _, err := Build(tr.LeafCodes()); err == nil {
+		t.Error("unbalanced mesh accepted")
+	}
+}
+
+func TestOperatorSymmetricPositiveDefinite(t *testing.T) {
+	for _, leaves := range [][]morton.Code{uniformLeaves(2), adaptiveLeaves(4)} {
+		s, err := Build(leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(7))
+		n := s.N()
+		x := make([]float64, n)
+		y := make([]float64, n)
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		for trial := 0; trial < 5; trial++ {
+			for i := range x {
+				x[i] = r.NormFloat64()
+				y[i] = r.NormFloat64()
+			}
+			s.Apply(x, ax)
+			s.Apply(y, ay)
+			// Symmetry: <Ax, y> == <x, Ay>.
+			lhs, rhs := dot(ax, y), dot(x, ay)
+			if math.Abs(lhs-rhs) > 1e-9*math.Max(math.Abs(lhs), 1) {
+				t.Fatalf("operator not symmetric: %v vs %v (n=%d)", lhs, rhs, n)
+			}
+			// Positive definiteness: <Ax, x> > 0 for x != 0.
+			if q := dot(ax, x); q <= 0 {
+				t.Fatalf("operator not positive definite: %v", q)
+			}
+		}
+	}
+}
+
+// manufactured solution p = sin(pi x) sin(pi y) sin(pi z), zero on the
+// boundary; f = -lap p = 3 pi^2 p.
+func manufactured(x, y, z float64) float64 {
+	return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+}
+
+func solveManufactured(t *testing.T, leaves []morton.Code) (l2, h float64) {
+	t.Helper()
+	s, err := Build(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	b := make([]float64, n)
+	x := make([]float64, n)
+	minH := 1.0
+	for i, c := range s.codes {
+		cx, cy, cz := c.Center()
+		b[i] = 3 * math.Pi * math.Pi * manufactured(cx, cy, cz)
+		if e := c.Extent(); e < minH {
+			minH = e
+		}
+	}
+	res, err := s.Solve(b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	num, den := 0.0, 0.0
+	for i, c := range s.codes {
+		cx, cy, cz := c.Center()
+		e := c.Extent()
+		v := e * e * e
+		d := x[i] - manufactured(cx, cy, cz)
+		num += d * d * v
+		den += manufactured(cx, cy, cz) * manufactured(cx, cy, cz) * v
+	}
+	return math.Sqrt(num / den), minH
+}
+
+func TestPoissonConvergesWithRefinement(t *testing.T) {
+	e3, _ := solveManufactured(t, uniformLeaves(3))
+	e4, _ := solveManufactured(t, uniformLeaves(4))
+	if e3 > 0.1 {
+		t.Errorf("level-3 relative L2 error %v too large", e3)
+	}
+	// Second-order scheme: halving h should cut the error ~4x; accept 3x.
+	if e4 > e3/3 {
+		t.Errorf("no second-order convergence: %v -> %v", e3, e4)
+	}
+}
+
+func TestPoissonOnAdaptiveMesh(t *testing.T) {
+	err2, _ := solveManufactured(t, adaptiveLeaves(4))
+	if err2 > 0.15 {
+		t.Errorf("adaptive-mesh relative L2 error %v", err2)
+	}
+}
+
+func TestSolveFromPMOctree(t *testing.T) {
+	// End to end: mesh with PM-octree, solve, write the pressure back.
+	tree := core.Create(core.Config{})
+	tree.RefineWhere(func(c morton.Code) bool { return c.Level() < 3 }, 3)
+	tree.Balance()
+	s, err := Build(tree.LeafCodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, s.N())
+	x := make([]float64, s.N())
+	for i, c := range s.Codes() {
+		cx, cy, cz := c.Center()
+		b[i] = 3 * math.Pi * math.Pi * manufactured(cx, cy, cz)
+	}
+	if _, err := s.Solve(b, x, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Store the solution into the octree fields.
+	byCode := map[morton.Code]float64{}
+	for i, c := range s.Codes() {
+		byCode[c] = x[i]
+	}
+	n := tree.UpdateLeaves(func(c morton.Code, d *[core.DataWords]float64) bool {
+		d[1] = byCode[c]
+		return true
+	})
+	if n == 0 {
+		t.Error("no pressures written back")
+	}
+	tree.Persist()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	s, err := Build(uniformLeaves(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, s.N())
+	x := make([]float64, s.N())
+	x[3] = 5 // non-zero start must be driven to the zero solution
+	res, err := s.Solve(b, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("zero RHS did not converge")
+	}
+	for i, v := range x {
+		if math.Abs(v) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSolveVectorLengthChecked(t *testing.T) {
+	s, _ := Build(uniformLeaves(1))
+	if _, err := s.Solve(make([]float64, 3), make([]float64, s.N()), Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMaxIterBound(t *testing.T) {
+	s, _ := Build(uniformLeaves(3))
+	b := make([]float64, s.N())
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, s.N())
+	res, err := s.Solve(b, x, Options{Tol: 1e-14, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("converged in 2 iterations to 1e-14; suspicious")
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}

@@ -1,0 +1,155 @@
+package pmoctree_test
+
+import (
+	"testing"
+
+	"pmoctree"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: create, mesh,
+// solve, persist, crash, restore, extract.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	nv := pmoctree.NewNVBM()
+	dram := pmoctree.NewDRAM()
+	tree := pmoctree.Create(pmoctree.Config{NVBMDevice: nv, DRAMDevice: dram})
+
+	d := pmoctree.NewDroplet(pmoctree.DropletConfig{Steps: 50})
+	tree.SetFeatures(d.Feature(1))
+	for s := 1; s <= 3; s++ {
+		sc := pmoctree.Step(tree, d, s, 4)
+		if sc.Leaves == 0 {
+			t.Fatalf("step %d produced no mesh", s)
+		}
+		tree.SetFeatures(d.Feature(s + 1))
+		tree.Persist()
+	}
+	want := tree.LeafCount()
+
+	// Extract a hex mesh for analysis.
+	hm := pmoctree.Extract(tree.ForEachLeaf)
+	if len(hm.Elements) != want {
+		t.Errorf("extracted %d elements, mesh has %d leaves", len(hm.Elements), want)
+	}
+	if err := hm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and restore.
+	tree.RefineWhere(func(pmoctree.Code) bool { return true }, 5) // doomed work
+	dram.Crash()
+	restored, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: nv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.LeafCount() != want {
+		t.Errorf("restored %d leaves, want %d", restored.LeafCount(), want)
+	}
+}
+
+// TestBaselinesSatisfyAdaptiveMesh checks all three implementations run
+// the same workload through the shared interface.
+func TestBaselinesSatisfyAdaptiveMesh(t *testing.T) {
+	d := pmoctree.NewDroplet(pmoctree.DropletConfig{Steps: 50})
+	meshes := map[string]pmoctree.AdaptiveMesh{
+		"pm":     pmoctree.Create(pmoctree.Config{}),
+		"incore": pmoctree.NewInCoreMesh(pmoctree.NewNVBM()),
+		"etree":  pmoctree.NewOutOfCoreMesh(pmoctree.NewNVBM()),
+	}
+	counts := map[string]int{}
+	for name, m := range meshes {
+		pmoctree.Step(m, d, 1, 3)
+		counts[name] = m.LeafCount()
+	}
+	if counts["pm"] != counts["incore"] {
+		t.Errorf("pm %d vs incore %d leaves", counts["pm"], counts["incore"])
+	}
+}
+
+func TestDeviceFilePersistence(t *testing.T) {
+	nv := pmoctree.NewNVBM()
+	tree := pmoctree.Create(pmoctree.Config{NVBMDevice: nv})
+	tree.RefineWhere(func(c pmoctree.Code) bool { return c.Level() < 2 }, 2)
+	tree.Persist()
+
+	path := t.TempDir() + "/region.img"
+	if err := nv.PersistFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := pmoctree.OpenDeviceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.LeafCount() != 64 {
+		t.Errorf("restored %d leaves", re.LeafCount())
+	}
+}
+
+func TestEncodeHelper(t *testing.T) {
+	c := pmoctree.Encode(1, 2, 3, 2)
+	if c.Level() != 2 {
+		t.Errorf("level = %d", c.Level())
+	}
+	if pmoctree.Root.Level() != 0 {
+		t.Error("root level != 0")
+	}
+}
+
+// TestFacadeSurface exercises the remaining public wrappers end to end:
+// all three workloads, the auto-tuner, the out-of-core reopen path, and
+// the flow solver.
+func TestFacadeSurface(t *testing.T) {
+	// Workloads through the shared driver.
+	for name, w := range map[string]pmoctree.Workload{
+		"impact":  pmoctree.NewDropImpact(pmoctree.ImpactConfig{Steps: 20}),
+		"boiling": pmoctree.NewBoiling(pmoctree.BoilingConfig{Steps: 20, Seed: 5}),
+	} {
+		tree := pmoctree.Create(pmoctree.Config{})
+		tree.SetFeatures(pmoctree.WorkloadFeature(w, 1))
+		if sc := pmoctree.Step(tree, w, 2, 4); sc.Leaves == 0 {
+			t.Errorf("%s: empty mesh", name)
+		}
+		tree.Persist()
+	}
+
+	// Auto-tuner on a pressured tree.
+	tree := pmoctree.Create(pmoctree.Config{DRAMBudgetOctants: 32})
+	tuner := pmoctree.NewAutoTuner(16, 4096)
+	d := pmoctree.NewDroplet(pmoctree.DropletConfig{Steps: 20})
+	pmoctree.Step(tree, d, 1, 4)
+	tree.Persist()
+	if got := tuner.Observe(tree); got < 16 {
+		t.Errorf("tuned budget %d below min", got)
+	}
+
+	// Out-of-core reopen.
+	dev := pmoctree.NewNVBM()
+	oc := pmoctree.NewOutOfCoreMesh(dev)
+	oc.RefineWhere(func(c pmoctree.Code) bool { return c.Level() < 1 }, 1)
+	re, err := pmoctree.OpenOutOfCoreMesh(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.LeafCount() != 8 {
+		t.Errorf("reopened %d leaves", re.LeafCount())
+	}
+
+	// Pointer octree + flow state.
+	po := pmoctree.NewPointerOctree()
+	po.RefineWhere(func(c pmoctree.Code) bool { return c.Level() < 2 }, 2)
+	sys, err := pmoctree.BuildPoisson(po.LeafCodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pmoctree.NewFlowState(sys)
+	st.VOF[0] = 1
+	if _, err := st.Step(1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if st.LiquidVolume() <= 0 {
+		t.Error("flow state lost its liquid")
+	}
+}
