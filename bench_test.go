@@ -69,7 +69,7 @@ func BenchmarkWriteMix(b *testing.B) {
 	sc := benchScale()
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		avg = experiments.WriteMix(sc).Avg
+		avg = experiments.WriteMix(sc, nil).Avg
 	}
 	b.ReportMetric(avg*100, "write-%")
 }
@@ -80,7 +80,7 @@ func BenchmarkFig3Overlap(b *testing.B) {
 	sc := benchScale()
 	var last experiments.Fig3Row
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig3(sc)
+		rows := experiments.Fig3(sc, nil)
 		last = rows[len(rows)-1]
 	}
 	b.ReportMetric(last.Overlap*100, "overlap-%")
@@ -92,7 +92,7 @@ func BenchmarkFig3Overlap(b *testing.B) {
 func BenchmarkFig5Layout(b *testing.B) {
 	var res experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.Fig5()
+		res = experiments.Fig5(nil)
 	}
 	b.ReportMetric(float64(res.ObliviousWrites), "oblivious-writes")
 	b.ReportMetric(float64(res.AwareWrites), "aware-writes")

@@ -5,28 +5,37 @@
 // memory behavior. With -image, the persistent region is written to a
 // device image file at the end, from which cmd/meshstat or a later run
 // can restore.
+//
+// -trace and -metrics export the run's telemetry (Chrome trace_event
+// timeline and per-step JSONL records); -debug serves expvar, the metrics
+// registry and pprof over HTTP while the run executes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
 	"pmoctree"
+	"pmoctree/internal/telemetry"
 )
 
 func main() {
 	var (
-		steps    = flag.Int("steps", 30, "time steps to simulate")
-		maxLevel = flag.Int("maxlevel", 5, "maximum refinement level")
-		jets     = flag.Int("jets", 1, "number of nozzles (printhead width; ejection only)")
-		workload = flag.String("workload", "ejection", "scenario: ejection | impact | boiling")
-		budget   = flag.Int("c0", 2048, "DRAM budget for the C0 tree, in octants")
-		image    = flag.String("image", "", "write the final NVBM region image to this file")
-		vtk      = flag.String("vtk", "", "write the final mesh as a legacy VTK unstructured grid")
-		autotune = flag.Bool("autotune", false, "let the C0 budget adapt to merge pressure")
-		quiet    = flag.Bool("q", false, "suppress the per-step table")
+		steps       = flag.Int("steps", 30, "time steps to simulate")
+		maxLevel    = flag.Int("maxlevel", 5, "maximum refinement level")
+		jets        = flag.Int("jets", 1, "number of nozzles (printhead width; ejection only)")
+		workload    = flag.String("workload", "ejection", "scenario: ejection | impact | boiling")
+		budget      = flag.Int("c0", 2048, "DRAM budget for the C0 tree, in octants")
+		image       = flag.String("image", "", "write the final NVBM region image to this file")
+		vtk         = flag.String("vtk", "", "write the final mesh as a legacy VTK unstructured grid")
+		autotune    = flag.Bool("autotune", false, "let the C0 budget adapt to merge pressure")
+		quiet       = flag.Bool("q", false, "suppress the per-step table")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline to `file`")
+		metricsPath = flag.String("metrics", "", "write per-step JSONL records to `file`")
+		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -35,6 +44,21 @@ func main() {
 		NVBMDevice:        nv,
 		DRAMBudgetOctants: *budget,
 	})
+
+	var obs *telemetry.Observer
+	if *tracePath != "" || *metricsPath != "" || *debugAddr != "" {
+		obs = telemetry.NewObserver()
+		tree.SetTracer(obs.TracerFor(0, telemetry.DeviceProbe(nv)))
+		tree.RegisterMetrics(obs.Metrics, "droplet")
+		if *debugAddr != "" {
+			addr, err := telemetry.StartDebugServer(*debugAddr, obs.Metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /debug/vars, /debug/pprof/)\n", addr)
+		}
+	}
 	var d pmoctree.Workload
 	switch *workload {
 	case "ejection":
@@ -58,7 +82,10 @@ func main() {
 		tuner = pmoctree.NewAutoTuner(64, 1<<20)
 	}
 	tree.SetFeatures(pmoctree.WorkloadFeature(d, 1))
+	prevNV := nv.Stats()
+	prevOps := tree.Stats()
 	for s := 1; s <= *steps; s++ {
+		mark := obs.Mark()
 		sc := pmoctree.Step(tree, d, s, uint8(*maxLevel))
 		vs := tree.VersionStats()
 		writes := nv.Stats().Writes
@@ -70,11 +97,41 @@ func main() {
 		lastWrites = writes
 		tree.SetFeatures(pmoctree.WorkloadFeature(d, s+1))
 		tree.Persist()
+		if obs != nil {
+			rec := telemetry.StepFromEvents(s, obs.EventsFrom(mark))
+			ops := tree.Stats()
+			nvNow := nv.Stats()
+			dnv := nvNow.Sub(prevNV)
+			rec.Elements = sc.Leaves
+			rec.Octants = vs.CurOctants
+			rec.Overlap = vs.OverlapRatio
+			rec.Expansion = vs.ExpansionFactor
+			rec.NVBMReads = dnv.Reads
+			rec.NVBMWrites = dnv.Writes
+			rec.Merges = uint64(ops.Merges - prevOps.Merges)
+			rec.GCFreed = uint64(ops.GCFreed - prevOps.GCFreed)
+			rec.Copies = uint64(ops.Copies - prevOps.Copies)
+			prevNV, prevOps = nvNow, ops
+			obs.RecordStep(rec)
+		}
 		if tuner != nil {
 			tuner.Observe(tree)
 		}
 	}
 	w.Flush()
+
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, obs.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFileWith(*metricsPath, obs.WriteSteps); err != nil {
+			fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	hm := pmoctree.Extract(tree.ForEachLeaf)
 	st := tree.Stats()
@@ -108,4 +165,17 @@ func main() {
 		}
 		fmt.Printf("persistent region written to %s\n", *image)
 	}
+}
+
+// writeFileWith creates path and fills it with one writer callback.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -16,20 +16,31 @@ import (
 	"path/filepath"
 
 	"pmoctree"
+	"pmoctree/internal/telemetry"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "dambreak", "initial condition: dambreak | drop | jet")
-		steps    = flag.Int("steps", 20, "time steps")
-		maxLevel = flag.Int("maxlevel", 4, "maximum refinement level")
-		vtkdir   = flag.String("vtkdir", "", "write one VTK frame per step into this directory")
-		image    = flag.String("image", "", "write the final NVBM region image to this file")
+		scenario  = flag.String("scenario", "dambreak", "initial condition: dambreak | drop | jet")
+		steps     = flag.Int("steps", 20, "time steps")
+		maxLevel  = flag.Int("maxlevel", 4, "maximum refinement level")
+		vtkdir    = flag.String("vtkdir", "", "write one VTK frame per step into this directory")
+		image     = flag.String("image", "", "write the final NVBM region image to this file")
+		debugAddr = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	nv := pmoctree.NewNVBM()
 	tree := pmoctree.Create(pmoctree.Config{NVBMDevice: nv, DRAMBudgetOctants: 4096})
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		tree.RegisterMetrics(reg, "flow")
+		addr, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /debug/vars, /debug/pprof/)\n", addr)
+	}
 
 	// Refine where the scenario puts liquid initially, plus a margin.
 	liquid := initialLiquid(*scenario)

@@ -2,10 +2,12 @@
 // by cmd/droplet -image or Device.PersistFile): it restores the committed
 // version and reports the mesh structure, level histogram, and memory
 // layout — demonstrating that a PM-octree is fully usable directly from
-// its persistent image.
+// its persistent image. -json emits the same report as one machine-
+// readable object.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,9 +17,25 @@ import (
 	"pmoctree"
 )
 
+// report is the -json form of meshstat's output.
+type report struct {
+	Step            uint64         `json:"step"`
+	Valid           bool           `json:"valid"`
+	Elements        int            `json:"elements"`
+	Vertices        int            `json:"vertices"`
+	Anchored        int            `json:"anchored"`
+	Dangling        int            `json:"dangling"`
+	Volume          float64        `json:"volume"`
+	LevelElements   map[string]int `json:"level_elements"`
+	Octants         int            `json:"octants"`
+	LiveBytes       int            `json:"live_bytes"`
+	BytesPerKOctant float64        `json:"bytes_per_1000_octants"`
+}
+
 func main() {
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: meshstat <region-image>")
+		fmt.Fprintln(os.Stderr, "usage: meshstat [-json] <region-image>")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -36,18 +54,47 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("restored committed version of step %d\n", tree.Step()-1)
+	rep := report{Step: tree.Step() - 1, Valid: true}
 	if err := tree.Validate(); err != nil {
+		if *asJSON {
+			rep.Valid = false
+			json.NewEncoder(os.Stdout).Encode(rep)
+		}
 		fmt.Fprintf(os.Stderr, "meshstat: structural validation FAILED: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("structural validation: ok")
 
 	hm := pmoctree.Extract(tree.ForEachLeaf)
-	fmt.Printf("mesh: %d elements, %d vertices (%d anchored, %d dangling), volume %.6f\n",
-		len(hm.Elements), len(hm.Vertices), hm.AnchoredCount(), hm.DanglingCount(), hm.Volume())
-
 	hist := hm.LevelHistogram()
+	vs := tree.VersionStats()
+	rep.Elements = len(hm.Elements)
+	rep.Vertices = len(hm.Vertices)
+	rep.Anchored = hm.AnchoredCount()
+	rep.Dangling = hm.DanglingCount()
+	rep.Volume = hm.Volume()
+	rep.LevelElements = map[string]int{}
+	for l, n := range hist {
+		rep.LevelElements[fmt.Sprint(l)] = n
+	}
+	rep.Octants = vs.CurOctants
+	rep.LiveBytes = vs.LiveBytes
+	rep.BytesPerKOctant = vs.MemoryPerThousandOctants()
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "meshstat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("restored committed version of step %d\n", rep.Step)
+	fmt.Println("structural validation: ok")
+	fmt.Printf("mesh: %d elements, %d vertices (%d anchored, %d dangling), volume %.6f\n",
+		rep.Elements, rep.Vertices, rep.Anchored, rep.Dangling, rep.Volume)
+
 	var levels []int
 	for l := range hist {
 		levels = append(levels, int(l))
@@ -60,7 +107,6 @@ func main() {
 	}
 	w.Flush()
 
-	vs := tree.VersionStats()
 	fmt.Printf("octants: %d; live bytes %d (%.0f per 1000 octants)\n",
-		vs.CurOctants, vs.LiveBytes, vs.MemoryPerThousandOctants())
+		rep.Octants, rep.LiveBytes, rep.BytesPerKOctant)
 }

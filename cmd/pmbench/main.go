@@ -20,6 +20,11 @@
 // sweeps); the default finishes in seconds. -titan pushes the
 // weak-scaling sweep to the paper's 1000-processor point (slow; use with
 // fig6/fig7). -json emits machine-readable results for plotting.
+//
+// Telemetry (works with every experiment id):
+//
+//	-trace=out.json    Chrome trace_event timeline (chrome://tracing, Perfetto)
+//	-metrics=out.jsonl one JSON step record per line (step, phases, NVBM deltas)
 package main
 
 import (
@@ -31,12 +36,15 @@ import (
 	"time"
 
 	"pmoctree/internal/experiments"
+	"pmoctree/internal/telemetry"
 )
 
 func main() {
 	paper := flag.Bool("paper", false, "run the large (paper-shaped) configuration")
 	titan := flag.Bool("titan", false, "weak-scale to 1000 simulated ranks (slow)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline to `file`")
+	metricsPath := flag.String("metrics", "", "write per-step JSONL records to `file`")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -52,6 +60,13 @@ func main() {
 		sc = experiments.TitanScale()
 	}
 
+	// The observer is shared across the requested ids: the trace file then
+	// holds every experiment's timeline back to back.
+	var obs *telemetry.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		obs = telemetry.NewObserver()
+	}
+
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table2", "writemix", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "recovery", "endurance", "workloads"}
@@ -59,7 +74,7 @@ func main() {
 	results := map[string]any{}
 	for _, id := range ids {
 		start := time.Now()
-		out, data, err := run(id, sc)
+		out, data, err := run(id, sc, obs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
 			os.Exit(1)
@@ -80,53 +95,91 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := writeTelemetry(obs, *tracePath, *metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTelemetry flushes the observer to the requested output files.
+func writeTelemetry(obs *telemetry.Observer, tracePath, metricsPath string) error {
+	if obs == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteSteps(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // run executes one experiment, returning its formatted table and the
 // structured rows (for -json). Scaling experiments share results across
 // the figure pairs that reuse them.
-func run(id string, sc experiments.Scale) (string, any, error) {
+func run(id string, sc experiments.Scale, obs *telemetry.Observer) (string, any, error) {
 	switch strings.ToLower(id) {
 	case "table2":
 		rows := experiments.Table2()
 		return experiments.FormatTable2(rows), rows, nil
 	case "writemix":
-		res := experiments.WriteMix(sc)
+		res := experiments.WriteMix(sc, obs)
 		return experiments.FormatWriteMix(res), res, nil
 	case "fig3":
-		rows := experiments.Fig3(sc)
+		rows := experiments.Fig3(sc, obs)
 		return experiments.FormatFig3(rows), rows, nil
 	case "fig5":
-		res := experiments.Fig5()
+		res := experiments.Fig5(obs)
 		return experiments.FormatFig5(res), res, nil
 	case "fig6":
-		pts := experiments.Fig6(sc)
+		pts := experiments.Fig6(sc, obs)
 		return experiments.FormatScaling("Figure 6: weak scaling (1 jet per rank)", pts), pts, nil
 	case "fig7":
-		pts := experiments.Fig7Points(sc)
+		pts := experiments.Fig7Points(sc, obs)
 		return experiments.FormatBreakdown("Figure 7: weak-scaling routine breakdown (PM-octree)", pts), pts, nil
 	case "fig8":
-		pts := experiments.Fig8(sc)
+		pts := experiments.Fig8(sc, obs)
 		return experiments.FormatStrong(pts) +
 			experiments.FormatBreakdown("Figure 8(b): strong-scaling routine breakdown", pts), pts, nil
 	case "fig9":
-		pts := experiments.Fig9(sc)
+		pts := experiments.Fig9(sc, obs)
 		return experiments.FormatScaling("Figure 9: strong scaling, three implementations", pts), pts, nil
 	case "fig10":
-		rows, ic, oc := experiments.Fig10(sc)
+		rows, ic, oc := experiments.Fig10(sc, obs)
 		data := map[string]any{"rows": rows, "inCoreSeconds": ic, "outOfCoreSeconds": oc}
 		return experiments.FormatFig10(rows, ic, oc), data, nil
 	case "fig11":
-		rows := experiments.Fig11(sc)
+		rows := experiments.Fig11(sc, obs)
 		return experiments.FormatFig11(rows), rows, nil
 	case "workloads":
-		rows := experiments.Workloads(sc)
+		rows := experiments.Workloads(sc, obs)
 		return experiments.FormatWorkloads(rows), rows, nil
 	case "endurance":
-		rows := experiments.Endurance(sc)
+		rows := experiments.Endurance(sc, obs)
 		return experiments.FormatEndurance(rows), rows, nil
 	case "recovery":
-		rows, err := experiments.Recovery(sc)
+		rows, err := experiments.Recovery(sc, obs)
 		if err != nil {
 			return "", nil, err
 		}
@@ -137,7 +190,7 @@ func run(id string, sc experiments.Scale) (string, any, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pmbench [-paper|-titan] [-json] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: pmbench [-paper|-titan] [-json] [-trace=file] [-metrics=file] <experiment>...
 
 experiments: table2 writemix fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 recovery endurance workloads all
 `)

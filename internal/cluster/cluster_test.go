@@ -170,7 +170,7 @@ func TestCrossRankBalance(t *testing.T) {
 	d := simDroplet(cfg)
 	ranks := makeRanks(cfg)
 	for s := 1; s <= cfg.Steps; s++ {
-		runStep(cfg, d, ranks, s)
+		runStep(cfg, d, ranks, s, make([]int64, cfg.Ranks))
 	}
 	// The union of owned leaves must satisfy the 2:1 face constraint
 	// globally, not just within each rank.

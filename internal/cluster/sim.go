@@ -9,6 +9,7 @@ import (
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // Config parameterizes one distributed simulation run.
@@ -41,6 +42,10 @@ type Config struct {
 	Workers int
 	// Seed drives deterministic sampling.
 	Seed int64
+	// Obs, when set, receives per-rank routine events on the modeled
+	// clock (one trace thread per rank, BSP barriers visible as idle
+	// gaps) and one StepRecord per step. Nil runs without telemetry.
+	Obs *telemetry.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +134,9 @@ type StepReport struct {
 	Elements int // global owned leaves after the step
 	MaxRank  int // most loaded rank's owned leaves
 	MinRank  int // least loaded rank's owned leaves
+	// Overlap is the mean PM-octree version-overlap ratio across ranks,
+	// measured before Persist. Only computed when telemetry is attached.
+	Overlap float64
 }
 
 // Result is a completed simulation.
@@ -160,11 +168,19 @@ func Run(cfg Config) Result {
 	}
 
 	res := Result{Config: cfg}
+	// Per-rank modeled clocks for the telemetry timeline; every routine
+	// barrier syncs them to the slowest rank (BSP semantics).
+	clocks := make([]int64, cfg.Ranks)
+	var prevNV nvbm.Stats
+	var prevPM core.OpStats
 	for s := cfg.StartStep; s < cfg.StartStep+cfg.Steps; s++ {
-		rep := runStep(cfg, d, ranks, s)
+		rep := runStep(cfg, d, ranks, s, clocks)
 		res.Total.add(rep.Times)
 		res.Steps = append(res.Steps, rep)
 		res.Elements = rep.Elements
+		if cfg.Obs != nil {
+			prevNV, prevPM = recordStep(cfg.Obs, ranks, rep, prevNV, prevPM)
+		}
 	}
 	for _, r := range ranks {
 		res.NVBM = res.NVBM.Add(r.nvbmStats())
@@ -212,45 +228,117 @@ func maxOf(v []float64) float64 {
 	return m
 }
 
+// emitRoutine publishes one routine's per-rank durations as trace events
+// on the modeled clock and advances every rank's clock to the barrier
+// (the slowest rank): idle time before the barrier shows up as a gap in
+// the timeline.
+func emitRoutine(obs *telemetry.Observer, clocks []int64, name string, step int, durs []float64) {
+	if obs == nil {
+		return
+	}
+	barrier := int64(maxOf(durs))
+	for i, d := range durs {
+		obs.Trace.Emit(telemetry.Event{
+			Name:      name,
+			Rank:      i,
+			Step:      uint64(step),
+			StartNs:   clocks[i],
+			DurNs:     int64(d),
+			ModeledNs: uint64(d),
+		})
+	}
+	for i := range clocks {
+		clocks[i] += barrier
+	}
+}
+
+// recordStep folds one completed step into the observer's timeline and
+// returns the updated previous-snapshot counters for the next delta.
+func recordStep(obs *telemetry.Observer, ranks []*rank, rep StepReport, prevNV nvbm.Stats, prevPM core.OpStats) (nvbm.Stats, core.OpStats) {
+	var nv nvbm.Stats
+	var pm core.OpStats
+	for _, r := range ranks {
+		nv = nv.Add(r.nvbmStats())
+		if r.pm != nil {
+			s := r.pm.Stats()
+			pm.Merges += s.Merges
+			pm.GCFreed += s.GCFreed
+			pm.Copies += s.Copies
+		}
+	}
+	d := nv.Sub(prevNV)
+	t := rep.Times
+	obs.RecordStep(telemetry.StepRecord{
+		Step:       rep.Step,
+		Elements:   rep.Elements,
+		ModeledNs:  uint64(t.TotalNs()),
+		NVBMReads:  d.Reads,
+		NVBMWrites: d.Writes,
+		Overlap:    rep.Overlap,
+		Merges:     uint64(pm.Merges - prevPM.Merges),
+		GCFreed:    uint64(pm.GCFreed - prevPM.GCFreed),
+		Copies:     uint64(pm.Copies - prevPM.Copies),
+		Phases: []telemetry.PhaseStat{
+			{Name: "Refine", ModeledNs: uint64(t.RefineNs)},
+			{Name: "Coarsen", ModeledNs: uint64(t.CoarsenNs)},
+			{Name: "Balance", ModeledNs: uint64(t.BalanceNs)},
+			{Name: "Solve", ModeledNs: uint64(t.SolveNs)},
+			{Name: "Persist", ModeledNs: uint64(t.PersistNs)},
+			{Name: "Partition", ModeledNs: uint64(t.PartitionNs)},
+		},
+	})
+	return nv, pm
+}
+
 // runStep advances all ranks through one bulk-synchronous AMR step.
-func runStep(cfg Config, d *sim.Droplet, ranks []*rank, s int) StepReport {
+func runStep(cfg Config, d *sim.Droplet, ranks []*rank, s int, clocks []int64) StepReport {
 	rep := StepReport{Step: s}
 	refine := d.RefinePred(s)
 	coarsen := d.CoarsenPred(s)
 	solve := d.Solve(s)
 
 	// Refine.
-	rep.Times.RefineNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+	durs := perRank(ranks, cfg.Workers, func(r *rank) float64 {
 		m0 := r.memNs()
 		visited := r.mesh.LeafCount()
 		n := r.mesh.RefineWhere(r.refinePred(refine), cfg.MaxLevel)
 		return r.memNs() - m0 + float64(n)*cfg.Cost.RefineNs + float64(visited)*cfg.Cost.TraverseNs
-	}))
+	})
+	rep.Times.RefineNs = maxOf(durs)
+	emitRoutine(cfg.Obs, clocks, "Refine", s, durs)
 
 	// Coarsen.
-	rep.Times.CoarsenNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+	durs = perRank(ranks, cfg.Workers, func(r *rank) float64 {
 		m0 := r.memNs()
 		visited := r.mesh.LeafCount()
 		n := r.mesh.CoarsenWhere(r.coarsenPred(coarsen))
 		return r.memNs() - m0 + float64(n)*cfg.Cost.CoarsenNs + float64(visited)*cfg.Cost.TraverseNs
-	}))
+	})
+	rep.Times.CoarsenNs = maxOf(durs)
+	emitRoutine(cfg.Obs, clocks, "Coarsen", s, durs)
 
 	// Balance: local pass per rank, then the distributed cross-boundary
 	// protocol (ghost exchange + ripple refinement across partitions).
-	rep.Times.BalanceNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+	durs = perRank(ranks, cfg.Workers, func(r *rank) float64 {
 		m0 := r.memNs()
 		visited := r.mesh.LeafCount()
 		n := r.mesh.Balance()
 		comm := cfg.Net.Transfer(r.surfaceLeafEstimate() * core.RecordSize)
 		return r.memNs() - m0 + float64(n)*cfg.Cost.BalanceNs + float64(visited)*cfg.Cost.TraverseNs + comm
-	}))
+	})
+	rep.Times.BalanceNs = maxOf(durs)
 	if cfg.Ranks > 1 {
 		_, _, globalNs := globalBalance(cfg, ranks)
 		rep.Times.BalanceNs += globalNs
+		// The cross-boundary protocol involves every rank.
+		for i := range durs {
+			durs[i] += globalNs
+		}
 	}
+	emitRoutine(cfg.Obs, clocks, "Balance", s, durs)
 
 	// Solve on owned leaves: several relaxation sweeps per step.
-	rep.Times.SolveNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+	durs = perRank(ranks, cfg.Workers, func(r *rank) float64 {
 		m0 := r.memNs()
 		cpu := 0.0
 		for it := 0; it < sim.SolverSweeps; it++ {
@@ -266,10 +354,28 @@ func runStep(cfg Config, d *sim.Droplet, ranks []*rank, s int) StepReport {
 			cpu += float64(n)*cfg.Cost.SolveNs + float64(owned)*cfg.Cost.TraverseNs
 		}
 		return r.memNs() - m0 + cpu
-	}))
+	})
+	rep.Times.SolveNs = maxOf(durs)
+	emitRoutine(cfg.Obs, clocks, "Solve", s, durs)
+
+	// Version overlap is measured before Persist collapses the working
+	// version into the committed one; the walk suspends accounting, so
+	// it is only paid when telemetry is attached.
+	if cfg.Obs != nil {
+		overlap, n := 0.0, 0
+		for _, r := range ranks {
+			if r.pm != nil {
+				overlap += r.pm.VersionStats().OverlapRatio
+				n++
+			}
+		}
+		if n > 0 {
+			rep.Overlap = overlap / float64(n)
+		}
+	}
 
 	// Persist per each implementation's policy.
-	rep.Times.PersistNs = maxOf(perRank(ranks, cfg.Workers, func(r *rank) float64 {
+	durs = perRank(ranks, cfg.Workers, func(r *rank) float64 {
 		m0 := r.memNs()
 		switch {
 		case r.pm != nil:
@@ -283,10 +389,19 @@ func runStep(cfg Config, d *sim.Droplet, ranks []*rank, s int) StepReport {
 			// The octant database is always consistent; nothing to do.
 		}
 		return r.memNs() - m0
-	}))
+	})
+	rep.Times.PersistNs = maxOf(durs)
+	emitRoutine(cfg.Obs, clocks, "Persist", s, durs)
 
 	// Partition: rebalance the space-filling-curve split.
 	rep.Times.PartitionNs, rep.Elements, rep.MaxRank, rep.MinRank = partition(cfg, ranks)
+	if cfg.Obs != nil {
+		pdurs := make([]float64, len(ranks))
+		for i := range pdurs {
+			pdurs[i] = rep.Times.PartitionNs
+		}
+		emitRoutine(cfg.Obs, clocks, "Partition", s, pdurs)
+	}
 	return rep
 }
 

@@ -12,6 +12,7 @@ import "pmoctree/internal/morton"
 // pass finds none (ripple refinement can create new violations one level
 // up).
 func (t *Tree) Balance() int {
+	defer t.span("Balance").End()
 	refined := 0
 	for {
 		violators := t.findViolators()

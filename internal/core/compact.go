@@ -19,6 +19,7 @@ import (
 // caller may discard or keep as a cold snapshot; the tree's config now
 // points at the new region.
 func (t *Tree) Compact() (retired *nvbm.Device, err error) {
+	defer t.span("Compact").End()
 	if t.cur != t.committed {
 		return nil, fmt.Errorf("core: compaction requires a committed state; call Persist first")
 	}

@@ -12,6 +12,7 @@ import "pmoctree/internal/pmem"
 // safe to crash at any point during collection: recovery re-marks from the
 // committed root and a re-run reclaims whatever remains.
 func (t *Tree) GC() int {
+	defer t.span("GC").End()
 	marked := make(map[pmem.Handle]bool)
 	t.mark(t.committed, marked)
 	if t.cur != t.committed {

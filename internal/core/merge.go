@@ -40,6 +40,7 @@ func (t *Tree) leastAccessedHot() (morton.Code, bool) {
 // octants to NVBM, splicing the relocated subtree into the (path-copied)
 // trunk.
 func (t *Tree) evictSubtree(code morton.Code) {
+	defer t.span("Merge").End()
 	delete(t.hot, code)
 	nr, _ := t.evictWalkTrunk(t.cur, code)
 	t.cur = nr
@@ -153,6 +154,7 @@ func (t *Tree) moveToNVBMUnder(r, parent Ref, setParent bool) Ref {
 //
 // It returns the number of octants garbage-collected.
 func (t *Tree) Persist() int {
+	defer t.span("Persist").End()
 	t.cur = t.moveToNVBM(t.cur)
 	// Ordering matters for crash consistency: the step counter must be
 	// durable BEFORE the root pointer. If power fails between the two

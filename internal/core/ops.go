@@ -144,6 +144,7 @@ func (t *Tree) Depth() uint8 {
 // recursively, until no leaf below maxLevel satisfies pred. New octants
 // inherit their parent's data. Returns the number of leaf splits.
 func (t *Tree) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	defer t.span("Refine").End()
 	before := t.stats.Refines
 	nr, _ := t.refineWalk(t.cur, pred, maxLevel)
 	t.cur = nr
@@ -270,6 +271,7 @@ func (t *Tree) refineAtWalk(r Ref, code morton.Code) (Ref, bool) {
 // pred, bottom-up, until stable within one pass. Child data is averaged
 // into the parent. Returns the number of collapses.
 func (t *Tree) CoarsenWhere(pred func(morton.Code) bool) int {
+	defer t.span("Coarsen").End()
 	before := t.stats.Coarsens
 	nr, _, _ := t.coarsenWalk(t.cur, pred)
 	t.cur = nr
@@ -334,6 +336,7 @@ func (t *Tree) coarsenWalk(r Ref, pred func(morton.Code) bool) (Ref, bool, bool)
 // data is stored copy-on-write. This is the solver's write path. Returns
 // the number of modified leaves.
 func (t *Tree) UpdateLeaves(fn func(code morton.Code, data *[DataWords]float64) bool) int {
+	defer t.span("Solve").End()
 	changedLeaves := 0
 	nr, _ := t.updateWalk(t.cur, fn, &changedLeaves)
 	t.cur = nr

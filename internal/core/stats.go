@@ -83,6 +83,12 @@ func (vs VersionStats) MemoryPerThousandOctants() float64 {
 	return float64(vs.LiveBytes) / float64(vs.CurOctants) * 1000
 }
 
+// verrf builds a validation error tagged with the working version number,
+// so a violation surfaced deep in a run is attributable to its step.
+func (t *Tree) verrf(format string, args ...any) error {
+	return fmt.Errorf("core: step %d: "+format, append([]any{t.step}, args...)...)
+}
+
 // Validate checks the structural invariants of both versions:
 //
 //   - child codes and levels are consistent with their parents;
@@ -90,7 +96,8 @@ func (vs VersionStats) MemoryPerThousandOctants() float64 {
 //   - every working-version octant's ref points at a live arena slot;
 //   - parent refs of working-version octants are exact.
 //
-// It returns the first violation found, or nil. Accounting is suspended.
+// It returns the first violation found (tagged with the working version
+// number), or nil. Accounting is suspended.
 func (t *Tree) Validate() error {
 	t.setAccounting(false)
 	defer t.setAccounting(true)
@@ -98,11 +105,11 @@ func (t *Tree) Validate() error {
 	var err error
 	t.walk(t.committed, func(r Ref, o *Octant) bool {
 		if r.InDRAM() {
-			err = fmt.Errorf("core: committed octant %v resides in DRAM", o.Code)
+			err = t.verrf("committed octant %v resides in DRAM", o.Code)
 			return false
 		}
 		if !t.nv.Live(r.Handle()) {
-			err = fmt.Errorf("core: committed octant %v points at a freed slot", o.Code)
+			err = t.verrf("committed octant %v points at a freed slot", o.Code)
 			return false
 		}
 		for i, c := range o.Children {
@@ -110,14 +117,14 @@ func (t *Tree) Validate() error {
 				continue
 			}
 			if c.InDRAM() {
-				err = fmt.Errorf("core: committed octant %v has DRAM child %d", o.Code, i)
+				err = t.verrf("committed octant %v has DRAM child %d", o.Code, i)
 				return false
 			}
 			var co Octant
 			t.nv.Read(c.Handle(), t.scratch[:])
 			co.decode(t.scratch[:])
 			if co.Code != o.Code.Child(i) {
-				err = fmt.Errorf("core: committed %v child %d has code %v", o.Code, i, co.Code)
+				err = t.verrf("committed %v child %d has code %v", o.Code, i, co.Code)
 				return false
 			}
 		}
@@ -130,7 +137,7 @@ func (t *Tree) Validate() error {
 	// parent refs exact.
 	t.walk(t.cur, func(r Ref, o *Octant) bool {
 		if !t.arenaFor(r).Live(r.Handle()) {
-			err = fmt.Errorf("core: working octant %v points at a freed slot", o.Code)
+			err = t.verrf("working octant %v points at a freed slot", o.Code)
 			return false
 		}
 		for i, c := range o.Children {
@@ -139,7 +146,7 @@ func (t *Tree) Validate() error {
 			}
 			co := t.readOct(c)
 			if co.Code != o.Code.Child(i) {
-				err = fmt.Errorf("core: working %v child %d has code %v", o.Code, i, co.Code)
+				err = t.verrf("working %v child %d has code %v", o.Code, i, co.Code)
 				return false
 			}
 			// Shared NVBM octants must be closed under NVBM (they are
@@ -147,11 +154,11 @@ func (t *Tree) Validate() error {
 			// octants may reference DRAM mid-step; Persist patches those
 			// edges before commit.
 			if !r.InDRAM() && !t.inPlace(r, o) && c.InDRAM() {
-				err = fmt.Errorf("core: shared NVBM octant %v references DRAM child %v", o.Code, co.Code)
+				err = t.verrf("shared NVBM octant %v references DRAM child %v", o.Code, co.Code)
 				return false
 			}
 			if t.inPlace(c, &co) && co.Parent != r {
-				err = fmt.Errorf("core: working octant %v has stale parent ref %v (want %v)", co.Code, co.Parent, r)
+				err = t.verrf("working octant %v has stale parent ref %v (want %v)", co.Code, co.Parent, r)
 				return false
 			}
 		}

@@ -56,6 +56,7 @@ const packingFactor = 4
 // "dynamic transformation is only triggered after the completion of the
 // merging operations").
 func (t *Tree) retarget() {
+	defer t.span("Transform").End()
 	if t.cfg.DisableTransform && t.trunk != nil {
 		// Transformation disabled: the layout chosen at the first
 		// persist stays frozen, however the access pattern moves —

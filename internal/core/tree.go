@@ -8,6 +8,7 @@ import (
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/pmem"
+	"pmoctree/internal/telemetry"
 )
 
 // Feature is an application-level predicate used by feature-directed
@@ -115,6 +116,7 @@ type Tree struct {
 
 	scratch [RecordSize]byte
 	stats   OpStats
+	tel     *telemetry.Tracer // nil when telemetry is off
 
 	// peakDRAMUtil tracks the highest C0 utilization seen during the
 	// current step; lastPeakDRAMUtil holds the previous step's peak
@@ -232,6 +234,45 @@ func (t *Tree) CommittedRoot() Ref { return t.committed }
 
 // Stats returns operation counters.
 func (t *Tree) Stats() OpStats { return t.stats }
+
+// SetTracer attaches a telemetry tracer; every PM-octree routine
+// (Refine/Coarsen/Balance/Solve/Persist/Merge/GC/Transform/Compact) then
+// records a phase span tagged with the working version number. A nil
+// tracer (the default) turns spans off.
+func (t *Tree) SetTracer(tel *telemetry.Tracer) { t.tel = tel }
+
+// Tracer returns the attached tracer (nil when telemetry is off),
+// satisfying telemetry.Traceable so the step driver can tag spans.
+func (t *Tree) Tracer() *telemetry.Tracer { return t.tel }
+
+// span opens a phase span tagged with the working version; the usual call
+// site is `defer t.span("Refine").End()`. Nil-safe end to end.
+func (t *Tree) span(name string) *telemetry.Span {
+	if t.tel == nil {
+		return nil
+	}
+	t.tel.SetStep(t.step)
+	return t.tel.Begin(name)
+}
+
+// RegisterMetrics publishes the tree's operation counters and both
+// devices' access counters as function gauges under prefix.
+func (t *Tree) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc(prefix+".refines", func() float64 { return float64(t.stats.Refines) })
+	r.RegisterFunc(prefix+".coarsens", func() float64 { return float64(t.stats.Coarsens) })
+	r.RegisterFunc(prefix+".copies", func() float64 { return float64(t.stats.Copies) })
+	r.RegisterFunc(prefix+".merges", func() float64 { return float64(t.stats.Merges) })
+	r.RegisterFunc(prefix+".persists", func() float64 { return float64(t.stats.Persists) })
+	r.RegisterFunc(prefix+".gcs", func() float64 { return float64(t.stats.GCs) })
+	r.RegisterFunc(prefix+".gc_freed", func() float64 { return float64(t.stats.GCFreed) })
+	r.RegisterFunc(prefix+".transforms", func() float64 { return float64(t.stats.Transforms) })
+	r.RegisterFunc(prefix+".step", func() float64 { return float64(t.step) })
+	telemetry.RegisterDevice(r, prefix+".nvbm", t.cfg.NVBMDevice)
+	telemetry.RegisterDevice(r, prefix+".dram", t.cfg.DRAMDevice)
+}
 
 // DRAMDevice returns the device backing C0.
 func (t *Tree) DRAMDevice() *nvbm.Device { return t.cfg.DRAMDevice }

@@ -29,6 +29,7 @@ import (
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/pagefile"
+	"pmoctree/internal/telemetry"
 )
 
 // DataWords matches the octant payload of the other implementations.
@@ -43,9 +44,10 @@ const PageCapacity = (pagefile.PageSize - 4) / recSize
 // Tree is a paged linear octree over an NVBM device.
 type Tree struct {
 	store *pagefile.Store
-	index *btree.Tree // Z-value -> page id
-	fill  []int       // records per page (volatile; rebuilt on Open)
-	open  int         // page currently accepting inserts, -1 if none
+	index *btree.Tree       // Z-value -> page id
+	fill  []int             // records per page (volatile; rebuilt on Open)
+	open  int               // page currently accepting inserts, -1 if none
+	tel   *telemetry.Tracer // nil when telemetry is off
 }
 
 // New creates an empty linear octree holding the root octant.
@@ -109,6 +111,14 @@ func Open(dev *nvbm.Device) (*Tree, error) {
 	}
 	return t, nil
 }
+
+// SetTracer attaches a telemetry tracer; the batch routines
+// (Refine/Coarsen/Balance/Solve) then record phase spans. A nil tracer
+// (the default) turns spans off.
+func (t *Tree) SetTracer(tel *telemetry.Tracer) { t.tel = tel }
+
+// Tracer returns the attached tracer, satisfying telemetry.Traceable.
+func (t *Tree) Tracer() *telemetry.Tracer { return t.tel }
 
 // LeafCount returns the number of stored octants (all are leaves).
 func (t *Tree) LeafCount() int { return t.index.Len() }
@@ -322,6 +332,7 @@ func (t *Tree) LeafCodes() []morton.Code {
 // RefineWhere refines every leaf satisfying pred until none below
 // maxLevel does. Returns the number of splits.
 func (t *Tree) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	defer t.tel.Begin("Refine").End()
 	refined := 0
 	queue := t.LeafCodes()
 	for len(queue) > 0 {
@@ -343,6 +354,7 @@ func (t *Tree) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
 // CoarsenWhere collapses complete sibling groups whose parent satisfies
 // pred, repeatedly, until stable. Returns the number of collapses.
 func (t *Tree) CoarsenWhere(pred func(morton.Code) bool) int {
+	defer t.tel.Begin("Coarsen").End()
 	coarsened := 0
 	for {
 		did := false
@@ -368,6 +380,7 @@ func (t *Tree) CoarsenWhere(pred func(morton.Code) bool) int {
 // UpdateLeaves applies fn to every leaf, rewriting records whose data
 // changed (whole-page writes). Returns the number of modified leaves.
 func (t *Tree) UpdateLeaves(fn func(code morton.Code, data *[DataWords]float64) bool) int {
+	defer t.tel.Begin("Solve").End()
 	changed := 0
 	for _, c := range t.LeafCodes() {
 		d, ok := t.get(c)
@@ -389,6 +402,7 @@ func (t *Tree) UpdateLeaves(fn func(code morton.Code, data *[DataWords]float64) 
 // Violators are refined in batches per scan. Returns the number of
 // refines.
 func (t *Tree) Balance() int {
+	defer t.tel.Begin("Balance").End()
 	refined := 0
 	for {
 		seen := map[morton.Code]bool{}

@@ -7,6 +7,7 @@ import (
 	"pmoctree/internal/core"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // EnduranceRow compares NVBM wear with and without dynamic transformation
@@ -23,8 +24,10 @@ type EnduranceRow struct {
 }
 
 // Endurance runs the droplet workload twice (layout transformation off
-// and on) and reports wear statistics of the persistent region.
-func Endurance(sc Scale) []EnduranceRow {
+// and on) and reports wear statistics of the persistent region. In the
+// trace the variants appear as ranks 0-2 in the order returned.
+func Endurance(sc Scale, obs *telemetry.Observer) []EnduranceRow {
+	variant := 0
 	run := func(label string, disable, level bool) EnduranceRow {
 		nv := nvbm.New(nvbm.NVBM, 0)
 		tree := core.Create(core.Config{
@@ -34,6 +37,8 @@ func Endurance(sc Scale) []EnduranceRow {
 			WearLeveling:      level,
 			Seed:              3,
 		})
+		tree.SetTracer(obs.TracerFor(variant, telemetry.DeviceProbe(nv)))
+		variant++
 		d := sim.NewDroplet(sim.DropletConfig{Steps: 3 * sc.WriteMixSteps})
 		for s := 1; s <= sc.WriteMixSteps; s++ {
 			sim.Step(tree, d, s, sc.WriteMixMaxLevel)

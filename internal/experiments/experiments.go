@@ -17,6 +17,7 @@ import (
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/recovery"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // Scale selects experiment sizes. DefaultScale finishes in seconds for
@@ -144,10 +145,12 @@ type WriteMixResult struct {
 // measures the write fraction of the octree meshing operations — refine,
 // coarsen and balance — per step ("octree meshing operations can be
 // write-intensive", §1). The solve and persist phases run to advance the
-// simulation but are not part of the measured mix.
-func WriteMix(sc Scale) WriteMixResult {
+// simulation but are not part of the measured mix. A non-nil obs records
+// one span per routine with NVBM deltas.
+func WriteMix(sc Scale, obs *telemetry.Observer) WriteMixResult {
 	dev := nvbm.New(nvbm.NVBM, 0)
 	tree := core.Create(core.Config{NVBMDevice: dev, DRAMBudgetOctants: 1})
+	tree.SetTracer(obs.TracerFor(0, telemetry.DeviceProbe(dev)))
 	// A fast workload clock makes the interface move every step, so the
 	// mesh actually adapts in every measured step.
 	d := sim.NewDroplet(sim.DropletConfig{Steps: 3 * sc.WriteMixSteps})
@@ -186,22 +189,59 @@ type Fig3Row struct {
 // Fig3 runs the droplet simulation and measures, at the end of each step
 // (before persisting), the overlap ratio between V(i) and V(i-1) and the
 // memory usage per 1000 octants.
-func Fig3(sc Scale) []Fig3Row {
-	tree := core.Create(core.Config{DRAMBudgetOctants: 512})
+//
+// Every step is assembled into one telemetry.StepRecord — per-phase spans
+// when obs carries a tracer, plus authoritative device-counter and
+// op-counter deltas — and the returned table rows are projections of
+// those records, so the text table, the JSONL timeline and the Chrome
+// trace all come from a single measurement path. A nil obs skips the
+// recording but runs the same path.
+func Fig3(sc Scale, obs *telemetry.Observer) []Fig3Row {
+	nv := nvbm.New(nvbm.NVBM, 0)
+	dr := nvbm.New(nvbm.DRAM, 0)
+	tree := core.Create(core.Config{DRAMBudgetOctants: 512, NVBMDevice: nv, DRAMDevice: dr})
+	tree.SetTracer(obs.TracerFor(0, telemetry.DeviceProbe(nv), telemetry.DeviceProbe(dr)))
+	if obs != nil {
+		tree.RegisterMetrics(obs.Metrics, "fig3")
+	}
 	d := sim.NewDroplet(sim.DropletConfig{Steps: sc.Fig3Steps + 10})
 	var rows []Fig3Row
+	prevNV := nv.Stats()
+	prevDR := dr.Stats()
+	prevOps := tree.Stats()
 	for s := 1; s <= sc.Fig3Steps; s++ {
+		mark := obs.Mark()
 		sim.Step(tree, d, s, sc.Fig3MaxLevel)
 		vs := tree.VersionStats()
-		rows = append(rows, Fig3Row{
-			Step:      s,
-			Octants:   vs.CurOctants,
-			Overlap:   vs.OverlapRatio,
-			MemPerK:   vs.MemoryPerThousandOctants(),
-			Expansion: vs.ExpansionFactor,
-		})
 		tree.SetFeatures(d.Feature(s + 1))
 		tree.Persist()
+
+		// Phases come from the step's spans; the step-level totals come
+		// from the device and op counters, which also cover work outside
+		// any span (and are available with telemetry off).
+		rec := telemetry.StepFromEvents(s, obs.EventsFrom(mark))
+		ops := tree.Stats()
+		nvNow, drNow := nv.Stats(), dr.Stats()
+		dnv := nvNow.Sub(prevNV)
+		rec.Octants = vs.CurOctants
+		rec.Overlap = vs.OverlapRatio
+		rec.Expansion = vs.ExpansionFactor
+		rec.ModeledNs = dnv.ModeledNs + drNow.Sub(prevDR).ModeledNs
+		rec.NVBMReads = dnv.Reads
+		rec.NVBMWrites = dnv.Writes
+		rec.Merges = uint64(ops.Merges - prevOps.Merges)
+		rec.GCFreed = uint64(ops.GCFreed - prevOps.GCFreed)
+		rec.Copies = uint64(ops.Copies - prevOps.Copies)
+		prevNV, prevDR, prevOps = nvNow, drNow, ops
+		obs.RecordStep(rec)
+
+		rows = append(rows, Fig3Row{
+			Step:      rec.Step,
+			Octants:   rec.Octants,
+			Overlap:   rec.Overlap,
+			MemPerK:   vs.MemoryPerThousandOctants(),
+			Expansion: rec.Expansion,
+		})
 	}
 	return rows
 }
@@ -216,8 +256,9 @@ type Fig5Result struct {
 }
 
 // Fig5 builds identical meshes under both layouts and replays a write
-// burst concentrated in a hot region that Z-order places last.
-func Fig5() Fig5Result {
+// burst concentrated in a hot region that Z-order places last. In the
+// trace the oblivious run appears as rank 0 and the aware run as rank 1.
+func Fig5(obs *telemetry.Observer) Fig5Result {
 	// The hot region spans two level-1 subtrees; the DRAM budget holds
 	// only one, so even the aware layout serves some NVBM writes — the
 	// regime of Figure 5, where the oblivious layout serves ~1.9x more.
@@ -231,6 +272,11 @@ func Fig5() Fig5Result {
 			DisableTransform:  oblivious,
 			Seed:              11,
 		})
+		rank := 0
+		if !oblivious {
+			rank = 1
+		}
+		tree.SetTracer(obs.TracerFor(rank, telemetry.DeviceProbe(tree.NVBMDevice())))
 		tree.SetFeatures(func(c morton.Code, _ [core.DataWords]float64) bool { return hot(c) })
 		tree.RefineWhere(func(morton.Code) bool { return true }, 3)
 		tree.Persist()
@@ -266,13 +312,23 @@ type ScalePoint struct {
 // Fig6 runs the weak-scaling comparison (Figure 6): the problem grows
 // with the rank count (one jet per rank), and all three implementations
 // execute the same steps.
-func Fig6(sc Scale) []ScalePoint { return weakScaling(sc, true) }
+func Fig6(sc Scale, obs *telemetry.Observer) []ScalePoint { return weakScaling(sc, true, obs) }
 
 // Fig7Points runs the weak-scaling sweep for PM-octree only (the routine
 // breakdown of Figure 7), skipping the expensive baselines.
-func Fig7Points(sc Scale) []ScalePoint { return weakScaling(sc, false) }
+func Fig7Points(sc Scale, obs *telemetry.Observer) []ScalePoint { return weakScaling(sc, false, obs) }
 
-func weakScaling(sc Scale, allImpls bool) []ScalePoint {
+// scalingObs attaches the observer to the PM-octree run only: the
+// baselines share rank ids, and interleaving three implementations on the
+// same trace threads would make the timeline unreadable.
+func scalingObs(obs *telemetry.Observer, impl cluster.Impl) *telemetry.Observer {
+	if impl != cluster.PMOctree {
+		return nil
+	}
+	return obs
+}
+
+func weakScaling(sc Scale, allImpls bool, obs *telemetry.Observer) []ScalePoint {
 	impls := []cluster.Impl{cluster.PMOctree}
 	if allImpls {
 		impls = append(impls, cluster.InCore, cluster.OutOfCore)
@@ -287,6 +343,7 @@ func weakScaling(sc Scale, allImpls bool) []ScalePoint {
 				MaxLevel: sc.WeakMaxLevel,
 				Steps:    sc.WeakSteps,
 				Seed:     1,
+				Obs:      scalingObs(obs, impl),
 			})
 			pt.Seconds[impl] = res.Total.TotalSeconds()
 			if impl == cluster.PMOctree {
@@ -301,7 +358,7 @@ func weakScaling(sc Scale, allImpls bool) []ScalePoint {
 
 // Fig8 runs the strong-scaling study (Figure 8): fixed problem size,
 // growing rank count, PM-octree only, with routine breakdown.
-func Fig8(sc Scale) []ScalePoint {
+func Fig8(sc Scale, obs *telemetry.Observer) []ScalePoint {
 	var points []ScalePoint
 	for _, p := range sc.StrongRanks {
 		res := cluster.Run(cluster.Config{
@@ -311,6 +368,7 @@ func Fig8(sc Scale) []ScalePoint {
 			MaxLevel: sc.StrongMaxLevel,
 			Steps:    sc.StrongSteps,
 			Seed:     1,
+			Obs:      obs,
 		})
 		points = append(points, ScalePoint{
 			Ranks:     p,
@@ -324,7 +382,7 @@ func Fig8(sc Scale) []ScalePoint {
 
 // Fig9 runs the strong-scaling comparison of all three implementations
 // (Figure 9).
-func Fig9(sc Scale) []ScalePoint {
+func Fig9(sc Scale, obs *telemetry.Observer) []ScalePoint {
 	var points []ScalePoint
 	for _, p := range sc.StrongRanks {
 		pt := ScalePoint{Ranks: p, Seconds: map[cluster.Impl]float64{}}
@@ -336,6 +394,7 @@ func Fig9(sc Scale) []ScalePoint {
 				MaxLevel: sc.StrongMaxLevel,
 				Steps:    sc.StrongSteps,
 				Seed:     1,
+				Obs:      scalingObs(obs, impl),
 			})
 			pt.Seconds[impl] = res.Total.TotalSeconds()
 			if impl == cluster.PMOctree {
@@ -359,7 +418,7 @@ type Fig10Row struct {
 // Fig10 sweeps the DRAM budget configured for the C0 tree and reports
 // execution time and C0/C1 merge counts, with the in-core and out-of-core
 // times as horizontal reference lines.
-func Fig10(sc Scale) (rows []Fig10Row, inCoreSecs, outOfCoreSecs float64) {
+func Fig10(sc Scale, obs *telemetry.Observer) (rows []Fig10Row, inCoreSecs, outOfCoreSecs float64) {
 	for _, b := range sc.Fig10Budgets {
 		res := cluster.Run(cluster.Config{
 			Ranks:             sc.Fig10Ranks,
@@ -368,6 +427,7 @@ func Fig10(sc Scale) (rows []Fig10Row, inCoreSecs, outOfCoreSecs float64) {
 			Steps:             sc.Fig10Steps,
 			DRAMBudgetOctants: b,
 			Seed:              1,
+			Obs:               obs,
 		})
 		rows = append(rows, Fig10Row{
 			BudgetOctants: b,
@@ -395,8 +455,9 @@ type Fig11Row struct {
 }
 
 // Fig11 sweeps mesh size (via refinement depth) and toggles the dynamic
-// transformation of the PM-octree layout.
-func Fig11(sc Scale) []Fig11Row {
+// transformation of the PM-octree layout. Only the transformation-on run
+// feeds the observer: the off run is its control.
+func Fig11(sc Scale, obs *telemetry.Observer) []Fig11Row {
 	var rows []Fig11Row
 	for _, ml := range sc.Fig11Levels {
 		// Probe the mesh size, then give C0 about a quarter of it per
@@ -426,6 +487,7 @@ func Fig11(sc Scale) []Fig11Row {
 			Steps: sc.Fig11Steps, DRAMBudgetOctants: budget,
 			DropletSteps:     workloadClock,
 			DisableTransform: false, Seed: 1,
+			Obs: obs,
 		})
 		row := Fig11Row{
 			MaxLevel:   ml,
@@ -454,7 +516,7 @@ type RecoveryRow struct {
 }
 
 // Recovery runs all five §5.6 scenarios.
-func Recovery(sc Scale) ([]RecoveryRow, error) {
+func Recovery(sc Scale, obs *telemetry.Observer) ([]RecoveryRow, error) {
 	var rows []RecoveryRow
 	for _, tc := range []struct {
 		impl cluster.Impl
@@ -472,6 +534,7 @@ func Recovery(sc Scale) ([]RecoveryRow, error) {
 			SameNode:  tc.same,
 			CrashStep: sc.RecoveryCrashStep,
 			MaxLevel:  sc.RecoveryMaxLevel,
+			Obs:       obs,
 		})
 		if err != nil {
 			return nil, err

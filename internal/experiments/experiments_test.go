@@ -45,7 +45,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestWriteMix(t *testing.T) {
-	res := WriteMix(tinyScale())
+	res := WriteMix(tinyScale(), nil)
 	if len(res.PerStep) != 3 {
 		t.Fatalf("steps = %d", len(res.PerStep))
 	}
@@ -64,7 +64,7 @@ func TestWriteMix(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	rows := Fig3(tinyScale())
+	rows := Fig3(tinyScale(), nil)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -87,7 +87,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig5ObliviousWritesMore(t *testing.T) {
-	res := Fig5()
+	res := Fig5(nil)
 	if res.ObliviousWrites <= res.AwareWrites {
 		t.Fatalf("oblivious layout (%d writes) not worse than aware (%d)",
 			res.ObliviousWrites, res.AwareWrites)
@@ -102,7 +102,7 @@ func TestFig5ObliviousWritesMore(t *testing.T) {
 }
 
 func TestFig6WeakScalingShape(t *testing.T) {
-	pts := Fig6(tinyScale())
+	pts := Fig6(tinyScale(), nil)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -134,7 +134,7 @@ func TestFig6WeakScalingShape(t *testing.T) {
 }
 
 func TestFig8StrongScalingSpeedup(t *testing.T) {
-	pts := Fig8(tinyScale())
+	pts := Fig8(tinyScale(), nil)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -149,7 +149,7 @@ func TestFig8StrongScalingSpeedup(t *testing.T) {
 }
 
 func TestFig9GapShrinks(t *testing.T) {
-	pts := Fig9(tinyScale())
+	pts := Fig9(tinyScale(), nil)
 	// §5.3: the in-core vs PM gap narrows as ranks grow (more of the
 	// mesh fits in C0).
 	gap := func(p ScalePoint) float64 {
@@ -164,7 +164,7 @@ func TestFig9GapShrinks(t *testing.T) {
 }
 
 func TestFig10MonotoneInBudget(t *testing.T) {
-	rows, ic, oc := Fig10(tinyScale())
+	rows, ic, oc := Fig10(tinyScale(), nil)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -188,7 +188,7 @@ func TestFig10MonotoneInBudget(t *testing.T) {
 }
 
 func TestFig11TransformationWins(t *testing.T) {
-	rows := Fig11(tinyScale())
+	rows := Fig11(tinyScale(), nil)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -211,7 +211,7 @@ func TestFig11TransformationWins(t *testing.T) {
 }
 
 func TestRecoveryScenarios(t *testing.T) {
-	rows, err := Recovery(tinyScale())
+	rows, err := Recovery(tinyScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestScalesDiffer(t *testing.T) {
 }
 
 func TestEnduranceTransformExtendsLifetime(t *testing.T) {
-	rows := Endurance(tinyScale())
+	rows := Endurance(tinyScale(), nil)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -275,7 +275,7 @@ func TestEnduranceTransformExtendsLifetime(t *testing.T) {
 }
 
 func TestWorkloadsExperiment(t *testing.T) {
-	rows := Workloads(tinyScale())
+	rows := Workloads(tinyScale(), nil)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}

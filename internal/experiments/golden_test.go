@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmoctree/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the telemetry golden files")
+
+// TestDropletTelemetryGolden pins the exact exporter output for a 5-step
+// droplet run: the simulation is deterministic and the trace clock is
+// injected, so both files must be byte-identical across runs and
+// platforms. Regenerate with `go test ./internal/experiments -run Golden
+// -update` after an intentional format or instrumentation change.
+func TestDropletTelemetryGolden(t *testing.T) {
+	obs := telemetry.NewObserver()
+	// Deterministic clock: each reading advances 1 µs, so wall durations
+	// count the clock reads between Begin and End instead of real time.
+	var tick int64
+	obs.Trace.SetClock(func() int64 { tick += 1000; return tick })
+
+	sc := DefaultScale()
+	sc.Fig3Steps = 5
+	rows := Fig3(sc, obs)
+	if len(rows) != 5 {
+		t.Fatalf("Fig3 returned %d rows, want 5", len(rows))
+	}
+
+	var jsonl bytes.Buffer
+	if err := obs.WriteSteps(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := obs.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+
+	checkGolden(t, filepath.Join("testdata", "droplet_steps.jsonl"), jsonl.Bytes())
+	checkGolden(t, filepath.Join("testdata", "droplet_trace.json"), trace.Bytes())
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden output (len %d vs %d); run with -update after intentional changes\ngot (first 400 bytes):\n%s",
+			path, len(got), len(want), truncate(got, 400))
+	}
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[:n]
+}

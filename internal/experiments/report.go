@@ -17,6 +17,26 @@ func table(fn func(w *tabwriter.Writer)) string {
 	return sb.String()
 }
 
+// Shared column formatters: every table renders ratios and modeled times
+// the same way.
+
+// pct renders a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// pct0 renders a fraction as a whole-number percentage.
+func pct0(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// secs renders modeled seconds.
+func secs(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// maybeSecs renders modeled seconds, or "-" for an absent measurement.
+func maybeSecs(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return secs(v)
+}
+
 // FormatTable2 renders the memory-characteristics table.
 func FormatTable2(rows []Table2Row) string {
 	return table(func(w *tabwriter.Writer) {
@@ -34,10 +54,10 @@ func FormatWriteMix(res WriteMixResult) string {
 		fmt.Fprintln(w, "Write share of memory accesses during meshing (§1: up to 72%, avg 41%)")
 		fmt.Fprintln(w, "step\twrite fraction")
 		for i, f := range res.PerStep {
-			fmt.Fprintf(w, "%d\t%.1f%%\n", i+1, f*100)
+			fmt.Fprintf(w, "%d\t%s\n", i+1, pct(f))
 		}
-		fmt.Fprintf(w, "average\t%.1f%%\n", res.Avg*100)
-		fmt.Fprintf(w, "max\t%.1f%%\n", res.Max*100)
+		fmt.Fprintf(w, "average\t%s\n", pct(res.Avg))
+		fmt.Fprintf(w, "max\t%s\n", pct(res.Max))
 	})
 }
 
@@ -47,8 +67,8 @@ func FormatFig3(rows []Fig3Row) string {
 		fmt.Fprintln(w, "Figure 3: octant overlap of V(i-1)/V(i) and memory per 1000 octants")
 		fmt.Fprintln(w, "step\toctants\toverlap\tbytes/1k octants\texpansion")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.0f\t%.2fx\n",
-				r.Step, r.Octants, r.Overlap*100, r.MemPerK, r.Expansion)
+			fmt.Fprintf(w, "%d\t%d\t%s\t%.0f\t%.2fx\n",
+				r.Step, r.Octants, pct(r.Overlap), r.MemPerK, r.Expansion)
 		}
 	})
 }
@@ -60,7 +80,7 @@ func FormatFig5(res Fig5Result) string {
 		fmt.Fprintln(w, "layout\tNVBM writes")
 		fmt.Fprintf(w, "oblivious (Fig 5a)\t%d\n", res.ObliviousWrites)
 		fmt.Fprintf(w, "aware (Fig 5b)\t%d\n", res.AwareWrites)
-		fmt.Fprintf(w, "extra writes from oblivious layout\t%.0f%% (paper: ~89%%)\n", res.ExtraFraction*100)
+		fmt.Fprintf(w, "extra writes from oblivious layout\t%s (paper: ~89%%)\n", pct0(res.ExtraFraction))
 	})
 }
 
@@ -71,17 +91,10 @@ func FormatScaling(title string, points []ScalePoint) string {
 		fmt.Fprintln(w, "ranks\telements\tin-core (s)\tpm-octree (s)\tout-of-core (s)")
 		for _, p := range points {
 			ic, pm, oc := p.Seconds[cluster.InCore], p.Seconds[cluster.PMOctree], p.Seconds[cluster.OutOfCore]
-			fmt.Fprintf(w, "%d\t%d\t%s\t%.3f\t%s\n",
-				p.Ranks, p.Elements, maybeSecs(ic), pm, maybeSecs(oc))
+			fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\n",
+				p.Ranks, p.Elements, maybeSecs(ic), secs(pm), maybeSecs(oc))
 		}
 	})
-}
-
-func maybeSecs(v float64) string {
-	if v == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.3f", v)
 }
 
 // FormatBreakdown renders per-routine fractions (Figures 7, 8b).
@@ -91,8 +104,8 @@ func FormatBreakdown(title string, points []ScalePoint) string {
 		fmt.Fprintln(w, "ranks\telements\trefine\tcoarsen\tbalance\tsolve\tpartition\tpersist")
 		for _, p := range points {
 			f := p.Breakdown.Fractions()
-			fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
-				p.Ranks, p.Elements, f[0]*100, f[1]*100, f[2]*100, f[3]*100, f[4]*100, f[5]*100)
+			fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				p.Ranks, p.Elements, pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3]), pct(f[4]), pct(f[5]))
 		}
 	})
 }
@@ -115,7 +128,7 @@ func FormatStrong(points []ScalePoint) string {
 				speedup = baseT / t
 			}
 			ideal := float64(p.Ranks) / float64(base.Ranks)
-			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.2fx\t%.2fx\n", p.Ranks, p.Elements, t, speedup, ideal)
+			fmt.Fprintf(w, "%d\t%d\t%s\t%.2fx\t%.2fx\n", p.Ranks, p.Elements, secs(t), speedup, ideal)
 		}
 	})
 }
@@ -126,10 +139,10 @@ func FormatFig10(rows []Fig10Row, inCoreSecs, outOfCoreSecs float64) string {
 		fmt.Fprintln(w, "Figure 10: impact of the DRAM size configured for the C0 tree")
 		fmt.Fprintln(w, "C0 budget (octants)\ttime (s)\tC0/C1 merges\telements")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%d\t%.3f\t%d\t%d\n", r.BudgetOctants, r.Seconds, r.Merges, r.Elements)
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\n", r.BudgetOctants, secs(r.Seconds), r.Merges, r.Elements)
 		}
-		fmt.Fprintf(w, "in-core reference\t%.3f\t-\t-\n", inCoreSecs)
-		fmt.Fprintf(w, "out-of-core reference\t%.3f\t-\t-\n", outOfCoreSecs)
+		fmt.Fprintf(w, "in-core reference\t%s\t-\t-\n", secs(inCoreSecs))
+		fmt.Fprintf(w, "out-of-core reference\t%s\t-\t-\n", secs(outOfCoreSecs))
 	})
 }
 
@@ -139,9 +152,9 @@ func FormatFig11(rows []Fig11Row) string {
 		fmt.Fprintln(w, "Figure 11: execution time without/with dynamic transformation")
 		fmt.Fprintln(w, "max level\telements\toff (s)\ton (s)\ttime cut\tNVBM writes off\ton\twrite cut")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\t%.1f%%\t%d\t%d\t%.1f%%\n",
-				r.MaxLevel, r.Elements, r.SecondsOff, r.SecondsOn, r.TimeReduction*100,
-				r.WritesOff, r.WritesOn, r.WriteReduction*100)
+			fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\t%d\t%d\t%s\n",
+				r.MaxLevel, r.Elements, secs(r.SecondsOff), secs(r.SecondsOn), pct(r.TimeReduction),
+				r.WritesOff, r.WritesOn, pct(r.WriteReduction))
 		}
 	})
 }

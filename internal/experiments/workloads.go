@@ -7,6 +7,7 @@ import (
 	"pmoctree/internal/core"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // WorkloadRow summarizes one motivating workload's behavior on PM-octree:
@@ -24,8 +25,9 @@ type WorkloadRow struct {
 }
 
 // Workloads runs a short simulation of each motivating workload and
-// reports the PM-octree-relevant characteristics.
-func Workloads(sc Scale) []WorkloadRow {
+// reports the PM-octree-relevant characteristics. In the trace each
+// workload appears as its own rank, in the order listed.
+func Workloads(sc Scale, obs *telemetry.Observer) []WorkloadRow {
 	steps := sc.WriteMixSteps
 	if steps < 4 {
 		steps = 4
@@ -39,9 +41,10 @@ func Workloads(sc Scale) []WorkloadRow {
 		{"rapid boiling", sim.NewBoiling(sim.BoilingConfig{Steps: 3 * steps, Seed: 42})},
 	}
 	var rows []WorkloadRow
-	for _, w := range fields {
+	for wi, w := range fields {
 		dev := nvbm.New(nvbm.NVBM, 0)
 		tree := core.Create(core.Config{NVBMDevice: dev, DRAMBudgetOctants: 1})
+		tree.SetTracer(obs.TracerFor(wi, telemetry.DeviceProbe(dev)))
 		row := WorkloadRow{Name: w.name, OverlapMin: 1}
 		for s := 1; s <= steps; s++ {
 			before := dev.Stats()
@@ -80,8 +83,8 @@ func FormatWorkloads(rows []WorkloadRow) string {
 		fmt.Fprintln(w, "Motivating workloads on PM-octree (extension: §1's simulation classes)")
 		fmt.Fprintln(w, "workload\toctants\toverlap band\tmeshing write mix (max)")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%d\t%.0f%% - %.0f%%\t%.0f%%\n",
-				r.Name, r.Elements, r.OverlapMin*100, r.OverlapMax*100, r.WriteMixMax*100)
+			fmt.Fprintf(w, "%s\t%d\t%s - %s\t%s\n",
+				r.Name, r.Elements, pct0(r.OverlapMin), pct0(r.OverlapMax), pct0(r.WriteMixMax))
 		}
 	})
 }

@@ -53,15 +53,27 @@ func (s Stats) WriteFraction() float64 {
 // Modeled returns the accumulated modeled latency as a time.Duration.
 func (s Stats) Modeled() time.Duration { return time.Duration(s.ModeledNs) }
 
+// satSub subtracts saturating at zero. A counter can read lower than an
+// earlier snapshot after ResetStats (or a snapshot taken on a different
+// device); a delta must then clamp rather than wrap to ~2^64.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 // Sub returns the counter deltas s - earlier, for interval measurements.
+// Deltas saturate at zero, so a snapshot pair straddling ResetStats
+// yields zeros instead of wrapped garbage.
 func (s Stats) Sub(earlier Stats) Stats {
 	return Stats{
 		Kind:       s.Kind,
-		Reads:      s.Reads - earlier.Reads,
-		Writes:     s.Writes - earlier.Writes,
-		ReadBytes:  s.ReadBytes - earlier.ReadBytes,
-		WriteBytes: s.WriteBytes - earlier.WriteBytes,
-		ModeledNs:  s.ModeledNs - earlier.ModeledNs,
+		Reads:      satSub(s.Reads, earlier.Reads),
+		Writes:     satSub(s.Writes, earlier.Writes),
+		ReadBytes:  satSub(s.ReadBytes, earlier.ReadBytes),
+		WriteBytes: satSub(s.WriteBytes, earlier.WriteBytes),
+		ModeledNs:  satSub(s.ModeledNs, earlier.ModeledNs),
 	}
 }
 
@@ -124,6 +136,22 @@ func (d *Device) WearMax(from, to int) uint32 {
 		}
 	}
 	return m
+}
+
+// Sub returns the wear accumulated since an earlier snapshot. TotalWear
+// differences saturating at zero (wear never decreases, but snapshots of
+// different devices must not wrap). Lines and MaxWear are NOT deltas:
+// both are point-in-time properties — a line count can shrink only by
+// swapping devices, and the hottest line's identity can change between
+// snapshots, so a MaxWear difference would mix two different lines. Sub
+// keeps the later snapshot's values for them; interval analyses should
+// use TotalWear (and MeanWear derived from it) only.
+func (ws WearStats) Sub(earlier WearStats) WearStats {
+	return WearStats{
+		Lines:     ws.Lines,
+		MaxWear:   ws.MaxWear,
+		TotalWear: satSub(ws.TotalWear, earlier.TotalWear),
+	}
 }
 
 // MeanWear returns the average writes per line, or 0 with no lines.

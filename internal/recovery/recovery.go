@@ -31,6 +31,7 @@ import (
 	"pmoctree/internal/etree"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // Config parameterizes the recovery experiment.
@@ -53,6 +54,23 @@ type Config struct {
 	// Replicate enables delta-shipping of the persistent version to a
 	// peer node (PM-octree only; the paper's user-enabled feature).
 	Replicate bool
+	// Obs, when set, receives restart-phase events ("Restore",
+	// "ReplicaMove", "SnapshotReload") on the modeled clock.
+	Obs *telemetry.Observer
+}
+
+// emit publishes one restart phase with its modeled duration, tagged with
+// the crash step. No-op without an observer.
+func (c Config) emit(name string, durNs float64) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Trace.Emit(telemetry.Event{
+		Name:      name,
+		Step:      uint64(c.CrashStep),
+		DurNs:     int64(durNs),
+		ModeledNs: uint64(durNs),
+	})
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +179,7 @@ func runPM(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
+	cfg.emit("Restore", float64(device.Stats().ModeledNs)-m0)
 	rep.RestartNs = float64(device.Stats().ModeledNs) - m0 + rep.ReplicaMoveNs
 	rep.Recovered = true
 	rep.Elements = restored.LeafCount()
@@ -198,6 +217,7 @@ func runInCore(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
 	}
 	rebuildCPU := float64(tree.Tree.NodeCount()) * cfg.Cost.TraverseNs
 	rep.RestartNs = float64(snap.Stats().ModeledNs) - m0 + rebuildCPU
+	cfg.emit("SnapshotReload", rep.RestartNs)
 	rep.Recovered = true
 	rep.Elements = tree.LeafCount()
 	rep.StepResumed = lastSnap
@@ -233,6 +253,7 @@ func runEtree(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
 		return rep, err
 	}
 	rep.RestartNs = float64(dev.Stats().ModeledNs) - m0
+	cfg.emit("Restore", rep.RestartNs)
 	rep.Recovered = true
 	rep.Elements = re.LeafCount()
 	rep.StepResumed = cfg.CrashStep - 1

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pmoctree/internal/morton"
+	"pmoctree/internal/telemetry"
 )
 
 // Field is a time-dependent implicit interface driving adaptive meshing:
@@ -77,6 +78,9 @@ func SolveOf(f Field, step int) func(morton.Code, *[DataWords]float64) bool {
 // StepField advances mesh through one AMR time step of any workload:
 // Refine, Coarsen, Balance, then SolverSweeps relaxation sweeps.
 func StepField(m Mesh, f Field, step int, maxLevel uint8) StepCounts {
+	// The mesh spans its own routines; the driver only tags them with the
+	// step index (core.Tree tags with its own version counter instead).
+	telemetry.TracerOf(m).SetStep(uint64(step))
 	var sc StepCounts
 	sc.Refined = m.RefineWhere(RefinePredOf(f, step), maxLevel)
 	sc.Coarsened = m.CoarsenWhere(CoarsenPredOf(f, step))

@@ -4,6 +4,7 @@ import (
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/octree"
+	"pmoctree/internal/telemetry"
 )
 
 // DataWords matches the per-octant payload of the octree implementations.
@@ -43,6 +44,8 @@ type InCore struct {
 	SnapshotDev *nvbm.Device
 	// SnapshotEvery is the snapshot period in steps (default 10).
 	SnapshotEvery int
+
+	tel *telemetry.Tracer // nil when telemetry is off
 }
 
 // NewInCore wraps a fresh in-core octree.
@@ -55,8 +58,16 @@ func NewInCore(snapshotDev *nvbm.Device) *InCore {
 	}
 }
 
+// SetTracer attaches a telemetry tracer; each Mesh routine then records a
+// phase span. A nil tracer (the default) turns spans off.
+func (m *InCore) SetTracer(tel *telemetry.Tracer) { m.tel = tel }
+
+// Tracer returns the attached tracer, satisfying telemetry.Traceable.
+func (m *InCore) Tracer() *telemetry.Tracer { return m.tel }
+
 // RefineWhere implements Mesh.
 func (m *InCore) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
+	defer m.tel.Begin("Refine").End()
 	visited := m.Tree.NodeCount()
 	n := m.Tree.RefineWhere(pred, maxLevel)
 	m.Mem.ChargeReadN(visited+n, octantBytes)
@@ -66,6 +77,7 @@ func (m *InCore) RefineWhere(pred func(morton.Code) bool, maxLevel uint8) int {
 
 // CoarsenWhere implements Mesh.
 func (m *InCore) CoarsenWhere(pred func(morton.Code) bool) int {
+	defer m.tel.Begin("Coarsen").End()
 	visited := m.Tree.NodeCount()
 	n := m.Tree.CoarsenWhere(pred)
 	m.Mem.ChargeReadN(visited+n*8, octantBytes)
@@ -75,6 +87,7 @@ func (m *InCore) CoarsenWhere(pred func(morton.Code) bool) int {
 
 // Balance implements Mesh.
 func (m *InCore) Balance() int {
+	defer m.tel.Begin("Balance").End()
 	visited := m.Tree.NodeCount()
 	n := m.Tree.Balance()
 	// Each pass walks the leaves and probes face neighbors top-down.
@@ -88,6 +101,7 @@ func (m *InCore) LeafCount() int { return m.Tree.LeafCount() }
 
 // UpdateLeaves implements Mesh.
 func (m *InCore) UpdateLeaves(fn func(morton.Code, *[DataWords]float64) bool) int {
+	defer m.tel.Begin("Solve").End()
 	changed := 0
 	visited := 0
 	m.Tree.ForEachLeaf(func(n *octree.Node) bool {
@@ -124,6 +138,7 @@ func (m *InCore) PersistStep(step int) error {
 	if step%every != 0 {
 		return nil
 	}
+	defer m.tel.Begin("Snapshot").End()
 	_, err := m.Tree.SnapshotToDevice(m.SnapshotDev)
 	return err
 }

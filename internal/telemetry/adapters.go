@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"pmoctree/internal/nvbm"
+)
+
+// DeviceProbe adapts an nvbm.Device to span accounting. DRAM devices are
+// sampled ModeledOnly: their modeled latency counts toward a span's
+// modeled time, but their operation counts are not NVBM traffic.
+func DeviceProbe(d *nvbm.Device) Probe {
+	return Probe{
+		ModeledOnly: d.Kind() == nvbm.DRAM,
+		Sample: func() ProbeSample {
+			s := d.Stats()
+			return ProbeSample{
+				ModeledNs:  s.ModeledNs,
+				Reads:      s.Reads,
+				Writes:     s.Writes,
+				ReadBytes:  s.ReadBytes,
+				WriteBytes: s.WriteBytes,
+			}
+		},
+	}
+}
+
+// RegisterDevice publishes a device's access and wear counters as
+// function gauges under prefix (e.g. "nvbm.reads", "nvbm.modeled_ns"),
+// absorbing nvbm.Stats into the registry without copying counters.
+func RegisterDevice(r *Registry, prefix string, d *nvbm.Device) {
+	if r == nil || d == nil {
+		return
+	}
+	r.RegisterFunc(prefix+".reads", func() float64 { return float64(d.Stats().Reads) })
+	r.RegisterFunc(prefix+".writes", func() float64 { return float64(d.Stats().Writes) })
+	r.RegisterFunc(prefix+".read_bytes", func() float64 { return float64(d.Stats().ReadBytes) })
+	r.RegisterFunc(prefix+".write_bytes", func() float64 { return float64(d.Stats().WriteBytes) })
+	r.RegisterFunc(prefix+".modeled_ns", func() float64 { return float64(d.Stats().ModeledNs) })
+	if d.Kind() == nvbm.NVBM {
+		r.RegisterFunc(prefix+".wear_max", func() float64 { return float64(d.Wear().MaxWear) })
+		r.RegisterFunc(prefix+".wear_total", func() float64 { return float64(d.Wear().TotalWear) })
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" =
+// complete event, "M" = metadata). Timestamps and durations are
+// microseconds. See the Trace Event Format spec; the output loads in
+// chrome://tracing and https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the collected events as Chrome trace_event
+// JSON. Each rank becomes one named thread; span nesting is reconstructed
+// by Perfetto from the start/duration containment.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].StartNs != sorted[j].StartNs {
+			return sorted[i].StartNs < sorted[j].StartNs
+		}
+		// Parents before children at the same start time.
+		return sorted[i].Depth < sorted[j].Depth
+	})
+
+	var out chromeTrace
+	ranks := map[int]bool{}
+	for _, e := range sorted {
+		ranks[e.Rank] = true
+	}
+	for _, r := range sortedInts(ranks) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, e := range sorted {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   float64(e.StartNs) / 1e3,
+			Dur:  float64(e.DurNs) / 1e3,
+			Pid:  0,
+			Tid:  e.Rank,
+			Args: map[string]any{
+				"step":        e.Step,
+				"modeled_ns":  e.ModeledNs,
+				"nvbm_reads":  e.Reads,
+				"nvbm_writes": e.Writes,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram buckets: values below 8 get exact buckets; above, each
+// power-of-two octave is split into 8 sub-buckets (the three bits after
+// the leading bit), bounding relative quantile error at 12.5%. The layout
+// is fixed-size so Observe is a couple of shifts and one atomic add —
+// safe and allocation-free on hot paths.
+const (
+	histExactBuckets = 8
+	histSubBuckets   = 8
+	histBuckets      = histExactBuckets + (64-3)*histSubBuckets
+)
+
+// Histogram is a goroutine-safe distribution of uint64 samples (typically
+// nanoseconds or byte counts) with log-scaled buckets. The zero value is
+// ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stored as ^value so zero means "unset"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if ^old <= v || h.min.CompareAndSwap(old, ^v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= v || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	h.buckets[histBucketIndex(v)].Add(1)
+}
+
+// histBucketIndex maps a sample to its bucket.
+func histBucketIndex(v uint64) int {
+	if v < histExactBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= 3
+	sub := (v >> (uint(exp) - 3)) & (histSubBuckets - 1)
+	return histExactBuckets + (exp-3)*histSubBuckets + int(sub)
+}
+
+// histBucketBounds returns the [lo, hi) value range of bucket i.
+func histBucketBounds(i int) (lo, hi uint64) {
+	if i < histExactBuckets {
+		return uint64(i), uint64(i) + 1
+	}
+	exp := uint(3 + (i-histExactBuckets)/histSubBuckets)
+	sub := uint64((i - histExactBuckets) % histSubBuckets)
+	width := uint64(1) << (exp - 3)
+	lo = (uint64(1) << exp) + sub*width
+	return lo, lo + width
+}
+
+// HistogramStats is a summarized distribution.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats summarizes the histogram. Quantiles are bucket-midpoint
+// estimates, exact for values below 8 and within 12.5% relative error
+// above.
+func (h *Histogram) Stats() HistogramStats {
+	var s HistogramStats
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = ^h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets,
+// clamped to the observed [min, max] range.
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= target {
+			lo, hi := histBucketBounds(i)
+			est := float64(lo)
+			if hi-lo > 1 {
+				est += float64(hi-lo) / 2
+			}
+			if min := float64(^h.min.Load()); est < min {
+				est = min
+			}
+			if max := float64(h.max.Load()); est > max {
+				est = max
+			}
+			return est
+		}
+	}
+	return float64(h.max.Load())
+}

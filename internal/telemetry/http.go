@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebugServer serves expvar, pprof, and a JSON snapshot of reg on
+// addr (e.g. "localhost:6060"):
+//
+//	/debug/vars     expvar
+//	/debug/metrics  registry snapshot as JSON
+//	/debug/pprof/   pprof index, profile, trace, symbol, cmdline
+//
+// The listener is bound synchronously so configuration errors surface
+// immediately; serving happens in a background goroutine for the life of
+// the process. The bound address is returned (useful with port 0).
+func StartDebugServer(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the unified observability layer of the PM-octree
+// stack: a goroutine-safe metrics registry (counters, gauges, histograms
+// with quantiles), a phase-scoped span tracer recording wall time and
+// modeled device time per phase, and machine-readable exporters — JSONL
+// step timelines and Chrome trace_event JSON that loads in
+// chrome://tracing or Perfetto.
+//
+// The package depends only on the standard library and, for the device
+// adapters, on internal/nvbm. Every entry point is nil-safe: a nil
+// *Tracer, *Span, *Observer, or *Trace turns the corresponding calls into
+// no-ops, so instrumented hot paths pay a single pointer test when
+// telemetry is off.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are goroutine-safe and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in both directions. The zero
+// value is ready to use; all methods are goroutine-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a named collection of metrics. Metric constructors are
+// get-or-create, so independent subsystems can share one registry without
+// coordination. All methods are goroutine-safe.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc publishes a gauge whose value is computed on snapshot —
+// the adapter hook that absorbs existing stat structs (nvbm.Stats,
+// core.OpStats) without copying their counters. Re-registering a name
+// replaces the function.
+func (r *Registry) RegisterFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// Function gauges are evaluated at snapshot time and reported as gauges.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.funcs)),
+		Histograms: make(map[string]HistogramStats, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Stats()
+	}
+	return s
+}
+
+// Sub returns the interval delta s - earlier. Counter deltas saturate at
+// zero (a counter missing from earlier, or reset between snapshots, never
+// produces a wrapped value). Gauges and histogram distribution statistics
+// are point-in-time quantities, so the later snapshot's values are kept;
+// histogram Count and Sum are differenced.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramStats, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = satSub(v, earlier.Counters[name])
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		e := earlier.Histograms[name]
+		h.Count = satSub(h.Count, e.Count)
+		h.Sum = satSub(h.Sum, e.Sum)
+		out.Histograms[name] = h
+	}
+	return out
+}
+
+// satSub returns a-b, clamped at zero.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// String renders the snapshot as a sorted human-readable block.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&sb, "%s: %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&sb, "%s: %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&sb, "%s: n=%d sum=%d p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99, h.Max)
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

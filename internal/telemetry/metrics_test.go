@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("ops")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("ops").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	g := &Gauge{}
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(goroutines*perG)*0.5; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Stats()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Min != 0 || s.Max != goroutines*perG-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, goroutines*perG-1)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := &Histogram{}
+	for v := uint64(0); v < 8; v++ {
+		h.Observe(v)
+	}
+	// Small values live in exact buckets, so low quantiles are exact.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %g, want 0", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Errorf("q1 = %g, want 7", got)
+	}
+	s := h.Stats()
+	if s.Mean != 3.5 {
+		t.Errorf("mean = %g, want 3.5", s.Mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform 1..100000: bucket-midpoint quantiles must land within the
+	// documented 12.5% relative error of the true quantile.
+	h := &Histogram{}
+	const n = 100000
+	for v := uint64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		truth := q * n
+		got := h.Quantile(q)
+		if relErr := math.Abs(got-truth) / truth; relErr > 0.125 {
+			t.Errorf("q%.2f = %g, truth %g, rel err %.3f > 0.125", q, got, truth, relErr)
+		}
+	}
+}
+
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxUint64} {
+		i := histBucketIndex(v)
+		lo, hi := histBucketBounds(i)
+		if hi == 0 { // top bucket of the top octave wraps; treat as open-ended
+			hi = math.MaxUint64
+		}
+		if v < lo || v >= hi && v != math.MaxUint64 {
+			t.Errorf("value %d mapped to bucket %d = [%d,%d)", v, i, lo, hi)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(10)
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h").Observe(100)
+	before := reg.Snapshot()
+
+	reg.Counter("a").Add(5)
+	reg.Counter("b").Add(3)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h").Observe(200)
+	after := reg.Snapshot()
+
+	d := after.Sub(before)
+	if d.Counters["a"] != 5 {
+		t.Errorf("delta a = %d, want 5", d.Counters["a"])
+	}
+	if d.Counters["b"] != 3 {
+		t.Errorf("delta b = %d, want 3 (counter born between snapshots)", d.Counters["b"])
+	}
+	if d.Gauges["g"] != 2.5 {
+		t.Errorf("delta gauge = %g, want point-in-time 2.5", d.Gauges["g"])
+	}
+	if h := d.Histograms["h"]; h.Count != 1 || h.Sum != 200 {
+		t.Errorf("delta hist = count %d sum %d, want 1/200", h.Count, h.Sum)
+	}
+}
+
+func TestSnapshotDeltaSaturates(t *testing.T) {
+	// A counter that went backwards between snapshots (reset) must clamp
+	// to zero, never wrap.
+	earlier := Snapshot{Counters: map[string]uint64{"c": 100}}
+	later := Snapshot{Counters: map[string]uint64{"c": 40}}
+	if got := later.Sub(earlier).Counters["c"]; got != 0 {
+		t.Fatalf("saturating delta = %d, want 0", got)
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.0
+	reg.RegisterFunc("dyn", func() float64 { return v })
+	if got := reg.Snapshot().Gauges["dyn"]; got != 1.0 {
+		t.Fatalf("func gauge = %g, want 1", got)
+	}
+	v = 7.0
+	if got := reg.Snapshot().Gauges["dyn"]; got != 7.0 {
+		t.Fatalf("func gauge after update = %g, want 7", got)
+	}
+}
+
+func TestSnapshotStringSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z").Inc()
+	reg.Counter("a").Inc()
+	s := reg.Snapshot().String()
+	if want := "a: 1\nz: 1\n"; s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestRegistryGetOrCreateStable(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	ptrs := make([]*Counter, 16)
+	for i := range ptrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ptrs[i] = reg.Counter("same")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(ptrs); i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatal("Counter(name) returned distinct instances for one name")
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := &Counter{}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			h.Observe(i * 37)
+		}
+	})
+}
+
+func ExampleSnapshot_Sub() {
+	reg := NewRegistry()
+	reg.Counter("merges").Add(4)
+	before := reg.Snapshot()
+	reg.Counter("merges").Add(2)
+	delta := reg.Snapshot().Sub(before)
+	fmt.Println(delta.Counters["merges"])
+	// Output: 2
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// Observer bundles one run's trace, metrics registry, and step timeline.
+// It is the single handle experiment drivers and CLIs thread through the
+// stack. All methods on a nil *Observer are no-ops, so callers pass nil
+// to run without telemetry at no cost.
+type Observer struct {
+	Trace   *Trace
+	Metrics *Registry
+
+	mu    sync.Mutex
+	steps []StepRecord
+}
+
+// NewObserver returns an observer with a fresh wall-clock trace and an
+// empty registry.
+func NewObserver() *Observer {
+	return &Observer{Trace: NewTrace(), Metrics: NewRegistry()}
+}
+
+// TracerFor returns a span tracer for one rank, or nil on a nil
+// observer.
+func (o *Observer) TracerFor(rank int, probes ...Probe) *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Tracer(rank, probes...)
+}
+
+// Mark returns the current trace length; pass it to EventsFrom after a
+// step to carve out that step's events.
+func (o *Observer) Mark() int {
+	if o == nil {
+		return 0
+	}
+	return o.Trace.Len()
+}
+
+// EventsFrom returns the trace events recorded since mark.
+func (o *Observer) EventsFrom(mark int) []Event {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.EventsFrom(mark)
+}
+
+// RecordStep appends one step's record to the timeline.
+func (o *Observer) RecordStep(rec StepRecord) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.steps = append(o.steps, rec)
+	o.mu.Unlock()
+}
+
+// Steps returns a copy of the step timeline.
+func (o *Observer) Steps() []StepRecord {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]StepRecord, len(o.steps))
+	copy(out, o.steps)
+	return out
+}
+
+// WriteSteps emits the step timeline as JSONL.
+func (o *Observer) WriteSteps(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return WriteStepsJSONL(w, o.Steps())
+}
+
+// WriteTrace emits the collected span events as Chrome trace_event JSON.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return WriteChromeTrace(w, o.Trace.Events())
+}

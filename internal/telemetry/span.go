@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// ProbeSample is a point-in-time reading of a device's accounting
+// counters. Spans record the delta between the readings at Begin and End.
+type ProbeSample struct {
+	ModeledNs  uint64
+	Reads      uint64
+	Writes     uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+}
+
+// Probe samples one device for span accounting. ModeledOnly probes (DRAM)
+// contribute their modeled time to the span but not to its NVBM
+// operation counts.
+type Probe struct {
+	Sample      func() ProbeSample
+	ModeledOnly bool
+}
+
+// Event is one completed span. Times are nanoseconds on the trace clock
+// (monotonic wall time by default; tests and modeled-time traces inject
+// their own clock).
+type Event struct {
+	Name       string `json:"name"`
+	Rank       int    `json:"rank"`
+	Depth      int    `json:"depth"`
+	Step       uint64 `json:"step"`
+	StartNs    int64  `json:"start_ns"`
+	DurNs      int64  `json:"dur_ns"`
+	ModeledNs  uint64 `json:"modeled_ns"`
+	Reads      uint64 `json:"nvbm_reads"`
+	Writes     uint64 `json:"nvbm_writes"`
+	ReadBytes  uint64 `json:"nvbm_read_bytes"`
+	WriteBytes uint64 `json:"nvbm_write_bytes"`
+}
+
+// Trace collects completed span events from any number of tracers. The
+// zero value is not usable; call NewTrace. All methods are
+// goroutine-safe, and all methods on a nil *Trace are no-ops.
+type Trace struct {
+	mu     sync.Mutex
+	clock  func() int64
+	start  int64
+	events []Event
+}
+
+// NewTrace returns a trace on the monotonic wall clock, with time zero at
+// the moment of the call.
+func NewTrace() *Trace {
+	t := &Trace{}
+	begin := time.Now()
+	t.clock = func() int64 { return int64(time.Since(begin)) }
+	return t
+}
+
+// SetClock replaces the trace clock (nanoseconds since an arbitrary
+// epoch). Used by deterministic tests and by modeled-time traces whose
+// clock advances with device accounting rather than wall time.
+func (t *Trace) SetClock(clock func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+func (t *Trace) now() int64 {
+	t.mu.Lock()
+	c := t.clock
+	t.mu.Unlock()
+	return c()
+}
+
+// Emit appends a completed event. Exposed so subsystems with externally
+// computed timelines (the cluster's modeled per-rank clocks) can feed the
+// same trace that span tracers write to.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of events collected so far. Use with EventsFrom
+// to carve out the events of one step.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of all collected events.
+func (t *Trace) Events() []Event { return t.EventsFrom(0) }
+
+// EventsFrom returns a copy of the events at index i and later.
+func (t *Trace) EventsFrom(i int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.events) {
+		return nil
+	}
+	out := make([]Event, len(t.events)-i)
+	copy(out, t.events[i:])
+	return out
+}
+
+// Tracer returns a span tracer writing into t, tagged with rank and
+// sampling the given probes around every span. Returns nil on a nil
+// trace, which makes every downstream call a no-op.
+func (t *Trace) Tracer(rank int, probes ...Probe) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{trace: t, rank: rank, probes: probes}
+}
+
+// Tracer opens phase-scoped spans for one logical rank. A single tracer
+// is used from one goroutine at a time (span depth is tracked per
+// tracer); different tracers may share a Trace freely. All methods on a
+// nil *Tracer are no-ops.
+type Tracer struct {
+	trace  *Trace
+	rank   int
+	probes []Probe
+	step   uint64
+	depth  int
+}
+
+// SetStep tags subsequently opened spans with the simulation step.
+func (t *Tracer) SetStep(step uint64) {
+	if t == nil {
+		return
+	}
+	t.step = step
+}
+
+// Begin opens a nested span. The returned span must be closed with End;
+// the idiomatic call site is
+//
+//	defer tel.Begin("Refine").End()
+//
+// Begin on a nil tracer returns a nil span, whose End is a no-op.
+func (t *Tracer) Begin(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		tracer: t,
+		name:   name,
+		depth:  t.depth,
+		step:   t.step,
+		start:  t.trace.now(),
+	}
+	if n := len(t.probes); n > 0 {
+		s.before = make([]ProbeSample, n)
+		for i, p := range t.probes {
+			s.before[i] = p.Sample()
+		}
+	}
+	t.depth++
+	return s
+}
+
+// Span is one open phase. End closes it and emits an Event carrying the
+// wall-clock duration plus the modeled-time and NVBM access deltas
+// observed by the tracer's probes.
+type Span struct {
+	tracer *Tracer
+	name   string
+	depth  int
+	step   uint64
+	start  int64
+	before []ProbeSample
+}
+
+// End closes the span. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	e := Event{
+		Name:    s.name,
+		Rank:    t.rank,
+		Depth:   s.depth,
+		Step:    s.step,
+		StartNs: s.start,
+		DurNs:   t.trace.now() - s.start,
+	}
+	for i, p := range t.probes {
+		after := p.Sample()
+		e.ModeledNs += satSub(after.ModeledNs, s.before[i].ModeledNs)
+		if p.ModeledOnly {
+			continue
+		}
+		e.Reads += satSub(after.Reads, s.before[i].Reads)
+		e.Writes += satSub(after.Writes, s.before[i].Writes)
+		e.ReadBytes += satSub(after.ReadBytes, s.before[i].ReadBytes)
+		e.WriteBytes += satSub(after.WriteBytes, s.before[i].WriteBytes)
+	}
+	t.depth = s.depth
+	t.trace.Emit(e)
+}
+
+// Traceable is implemented by mesh types that expose their tracer, so the
+// shared step driver can tag spans with the step index without knowing
+// the concrete mesh type.
+type Traceable interface {
+	Tracer() *Tracer
+}
+
+// TracerOf returns v's tracer if v is Traceable, else nil.
+func TracerOf(v any) *Tracer {
+	if tr, ok := v.(Traceable); ok {
+		return tr.Tracer()
+	}
+	return nil
+}
