@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so CI can archive benchmark runs
+// (BENCH_pr2.json) without a third-party parser. It understands the
+// standard benchmark line format:
+//
+//	BenchmarkSolveParallel-8   3   401203100 ns/op   262144 cells   4 workers
+//
+// plus the goos/goarch/cpu/pkg header lines, which become metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: N iterations plus every trailing
+// value/unit metric pair (ns/op, B/op, custom ReportMetric units).
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole run.
+type Doc struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	doc := Doc{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				r.Package = pkg
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine splits "BenchmarkX-8  N  v1 u1  v2 u2 ..." into a Result.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}

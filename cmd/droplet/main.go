@@ -36,8 +36,11 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline to `file`")
 		metricsPath = flag.String("metrics", "", "write per-step JSONL records to `file`")
 		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
+		workers     = flag.Int("workers", 0, "worker-pool width for predicate/solve evaluation (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+
+	pool := pmoctree.NewWorkerPool(*workers)
 
 	nv := pmoctree.NewNVBM()
 	tree := pmoctree.Create(pmoctree.Config{
@@ -50,6 +53,7 @@ func main() {
 		obs = telemetry.NewObserver()
 		tree.SetTracer(obs.TracerFor(0, telemetry.DeviceProbe(nv)))
 		tree.RegisterMetrics(obs.Metrics, "droplet")
+		pool.Instrument(obs.Metrics, "droplet.pool")
 		if *debugAddr != "" {
 			addr, err := telemetry.StartDebugServer(*debugAddr, obs.Metrics)
 			if err != nil {
@@ -86,7 +90,7 @@ func main() {
 	prevOps := tree.Stats()
 	for s := 1; s <= *steps; s++ {
 		mark := obs.Mark()
-		sc := pmoctree.Step(tree, d, s, uint8(*maxLevel))
+		sc := pmoctree.StepPool(tree, d, s, uint8(*maxLevel), pool)
 		vs := tree.VersionStats()
 		writes := nv.Stats().Writes
 		if !*quiet {

@@ -27,6 +27,7 @@ func main() {
 		vtkdir    = flag.String("vtkdir", "", "write one VTK frame per step into this directory")
 		image     = flag.String("image", "", "write the final NVBM region image to this file")
 		debugAddr = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
+		workers   = flag.Int("workers", 0, "worker-pool width for advection and projection (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	st := pmoctree.NewFlowState(sys)
+	st.SetWorkers(*workers)
 	for i := 0; i < sys.N(); i++ {
 		x, y, z := sys.Center(i)
 		if liquid(x, y, z) {

@@ -45,6 +45,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline to `file`")
 	metricsPath := flag.String("metrics", "", "write per-step JSONL records to `file`")
+	workers := flag.Int("workers", 0, "per-rank worker-pool width (0 = GOMAXPROCS); results are identical for any value")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -59,6 +60,7 @@ func main() {
 	if *titan {
 		sc = experiments.TitanScale()
 	}
+	sc.Workers = *workers
 
 	// The observer is shared across the requested ids: the trace file then
 	// holds every experiment's timeline back to back.

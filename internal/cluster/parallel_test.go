@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestPerRankDirect drives perRank with every worker-count edge the
+// scheduler must normalize — including the 0 and negative counts that
+// used to deadlock (zero-capacity semaphore) or panic (negative make).
+// Run with -race: the per-rank result writes and the shared rank state
+// inside fn are exactly what the detector checks.
+func TestPerRankDirect(t *testing.T) {
+	const n = 8
+	ranks := make([]*rank, n)
+	for i := range ranks {
+		ranks[i] = newRank(i, PMOctree, 128, false, 1)
+	}
+	for _, workers := range []int{-1, 0, 1, 2, n, 3 * n} {
+		out := perRank(ranks, workers, func(r *rank) float64 {
+			// Touch real rank state so -race sees the actual access
+			// pattern of a routine barrier, not an empty closure.
+			visited := r.mesh.LeafCount()
+			return float64(r.id*1000 + visited)
+		})
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if want := float64(i*1000 + 1); v != want {
+				t.Errorf("workers=%d rank %d: got %v, want %v", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 5, 2}, 5},
+		// All-negative inputs must return the true maximum, not the old
+		// zero-initialized clamp.
+		{[]float64{-7, -2, -9}, -2},
+	}
+	for _, c := range cases {
+		if got := maxOf(c.in); got != c.want {
+			t.Errorf("maxOf(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,13 +1,13 @@
 package cluster
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
 	"pmoctree/internal/core"
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
+	"pmoctree/internal/parallel"
 	"pmoctree/internal/sim"
 	"pmoctree/internal/telemetry"
 )
@@ -79,9 +79,7 @@ func (c Config) withDefaults() Config {
 	if c.Cost == (CostModel{}) {
 		c.Cost = DefaultCost()
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	c.Workers = parallel.Clamp(c.Workers)
 	return c
 }
 
@@ -201,7 +199,11 @@ func Run(cfg Config) Result {
 
 // perRank runs fn for every rank on a bounded worker pool and returns the
 // per-rank modeled times; the caller reduces with max (BSP semantics).
+// workers <= 0 (a caller bypassing Config.withDefaults) is normalized to
+// GOMAXPROCS: workers=0 previously deadlocked on the zero-capacity
+// semaphore before any worker ran, and negative counts panicked in make.
 func perRank(ranks []*rank, workers int, fn func(*rank) float64) []float64 {
+	workers = parallel.Clamp(workers)
 	out := make([]float64, len(ranks))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -218,9 +220,17 @@ func perRank(ranks []*rank, workers int, fn func(*rank) float64) []float64 {
 	return out
 }
 
+// maxOf returns the maximum element. Initializing from the first element
+// (not 0) keeps the reduction honest for all-negative inputs — a modeled
+// duration should never be negative, but a bug that makes one should
+// surface as a negative barrier, not be silently clamped to zero — and
+// makes the empty slice's 0 an explicit, documented case.
 func maxOf(v []float64) float64 {
-	m := 0.0
-	for _, x := range v {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
 		if x > m {
 			m = x
 		}

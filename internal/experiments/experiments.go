@@ -24,6 +24,10 @@ import (
 // tests and quick runs; PaperScale approaches the paper's configuration
 // shape (hundreds of ranks, deeper meshes) and takes minutes.
 type Scale struct {
+	// Workers is the per-rank worker-pool width handed to the cluster
+	// scheduler (0 = GOMAXPROCS). Results are worker-count-invariant.
+	Workers int
+
 	Fig3Steps    int
 	Fig3MaxLevel uint8
 
@@ -339,6 +343,7 @@ func weakScaling(sc Scale, allImpls bool, obs *telemetry.Observer) []ScalePoint 
 		for _, impl := range impls {
 			res := cluster.Run(cluster.Config{
 				Ranks:    p,
+				Workers:  sc.Workers,
 				Impl:     impl,
 				MaxLevel: sc.WeakMaxLevel,
 				Steps:    sc.WeakSteps,
@@ -363,6 +368,7 @@ func Fig8(sc Scale, obs *telemetry.Observer) []ScalePoint {
 	for _, p := range sc.StrongRanks {
 		res := cluster.Run(cluster.Config{
 			Ranks:    p,
+			Workers:  sc.Workers,
 			Jets:     sc.StrongJets,
 			Impl:     cluster.PMOctree,
 			MaxLevel: sc.StrongMaxLevel,
@@ -389,6 +395,7 @@ func Fig9(sc Scale, obs *telemetry.Observer) []ScalePoint {
 		for _, impl := range []cluster.Impl{cluster.PMOctree, cluster.InCore, cluster.OutOfCore} {
 			res := cluster.Run(cluster.Config{
 				Ranks:    p,
+				Workers:  sc.Workers,
 				Jets:     sc.StrongJets,
 				Impl:     impl,
 				MaxLevel: sc.StrongMaxLevel,
@@ -422,6 +429,7 @@ func Fig10(sc Scale, obs *telemetry.Observer) (rows []Fig10Row, inCoreSecs, outO
 	for _, b := range sc.Fig10Budgets {
 		res := cluster.Run(cluster.Config{
 			Ranks:             sc.Fig10Ranks,
+			Workers:           sc.Workers,
 			Impl:              cluster.PMOctree,
 			MaxLevel:          sc.Fig10MaxLevel,
 			Steps:             sc.Fig10Steps,
@@ -436,8 +444,8 @@ func Fig10(sc Scale, obs *telemetry.Observer) (rows []Fig10Row, inCoreSecs, outO
 			Elements:      res.Elements,
 		})
 	}
-	ic := cluster.Run(cluster.Config{Ranks: sc.Fig10Ranks, Impl: cluster.InCore, MaxLevel: sc.Fig10MaxLevel, Steps: sc.Fig10Steps, Seed: 1})
-	oc := cluster.Run(cluster.Config{Ranks: sc.Fig10Ranks, Impl: cluster.OutOfCore, MaxLevel: sc.Fig10MaxLevel, Steps: sc.Fig10Steps, Seed: 1})
+	ic := cluster.Run(cluster.Config{Ranks: sc.Fig10Ranks, Workers: sc.Workers, Impl: cluster.InCore, MaxLevel: sc.Fig10MaxLevel, Steps: sc.Fig10Steps, Seed: 1})
+	oc := cluster.Run(cluster.Config{Ranks: sc.Fig10Ranks, Workers: sc.Workers, Impl: cluster.OutOfCore, MaxLevel: sc.Fig10MaxLevel, Steps: sc.Fig10Steps, Seed: 1})
 	return rows, ic.Total.TotalSeconds(), oc.Total.TotalSeconds()
 }
 
@@ -468,7 +476,7 @@ func Fig11(sc Scale, obs *telemetry.Observer) []Fig11Row {
 		// situation dynamic transformation exists for.
 		const workloadClock = 30
 		probe := cluster.Run(cluster.Config{
-			Ranks: sc.Fig11Ranks, Impl: cluster.PMOctree, MaxLevel: ml,
+			Ranks: sc.Fig11Ranks, Workers: sc.Workers, Impl: cluster.PMOctree, MaxLevel: ml,
 			Steps: 1, DRAMBudgetOctants: 1 << 20, Seed: 1,
 			DropletSteps: workloadClock,
 		})
@@ -477,13 +485,13 @@ func Fig11(sc Scale, obs *telemetry.Observer) []Fig11Row {
 			budget = 32
 		}
 		off := cluster.Run(cluster.Config{
-			Ranks: sc.Fig11Ranks, Impl: cluster.PMOctree, MaxLevel: ml,
+			Ranks: sc.Fig11Ranks, Workers: sc.Workers, Impl: cluster.PMOctree, MaxLevel: ml,
 			Steps: sc.Fig11Steps, DRAMBudgetOctants: budget,
 			DropletSteps:     workloadClock,
 			DisableTransform: true, Seed: 1,
 		})
 		on := cluster.Run(cluster.Config{
-			Ranks: sc.Fig11Ranks, Impl: cluster.PMOctree, MaxLevel: ml,
+			Ranks: sc.Fig11Ranks, Workers: sc.Workers, Impl: cluster.PMOctree, MaxLevel: ml,
 			Steps: sc.Fig11Steps, DRAMBudgetOctants: budget,
 			DropletSteps:     workloadClock,
 			DisableTransform: false, Seed: 1,

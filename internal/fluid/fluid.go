@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmoctree/internal/parallel"
 	"pmoctree/internal/solver"
 )
 
@@ -36,6 +37,32 @@ type State struct {
 	div, gx, gy, gz  []float64
 	u2, v2, w2, vof2 []float64
 	lastDt           float64
+
+	// pool schedules the advection sweep and the per-cell update loops;
+	// nil runs them inline. The projection solve follows Sys's pool.
+	pool *parallel.Pool
+}
+
+// SetWorkers sets the worker count for the flow step — the advection
+// sampling sweep, the body-force and gradient-correction loops, and (via
+// the system's pool) the pressure projection. n <= 0 selects GOMAXPROCS,
+// 1 restores serial execution. The advected fields are bit-identical for
+// every n (each cell's sample depends only on the previous field), and
+// the projection's reductions are deterministic blocked sums.
+func (st *State) SetWorkers(n int) {
+	if n == 1 {
+		st.pool = nil
+	} else {
+		st.pool = parallel.New(n)
+	}
+	st.Sys.SetWorkers(n)
+}
+
+// SetPool attaches a caller-owned pool to the state and its system; nil
+// restores serial execution.
+func (st *State) SetPool(p *parallel.Pool) {
+	st.pool = p
+	st.Sys.SetPool(p)
 }
 
 // NewState builds a zero flow state over the mesh cells.
@@ -133,25 +160,14 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 
 	// 1. Semi-Lagrangian advection: trace the characteristic back and
 	// sample the previous field there.
-	for i := 0; i < n; i++ {
-		cx, cy, cz := st.Sys.Center(i)
-		bx := cx - dt*st.U[i]
-		by := cy - dt*st.V[i]
-		bz := cz - dt*st.W[i]
-		st.u2[i] = st.sample(st.U, bx, by, bz)
-		st.v2[i] = st.sample(st.V, bx, by, bz)
-		st.w2[i] = st.sample(st.W, bx, by, bz)
-		st.vof2[i] = st.sample(st.VOF, bx, by, bz)
-	}
-	copy(st.U, st.u2)
-	copy(st.V, st.v2)
-	copy(st.W, st.w2)
-	copy(st.VOF, st.vof2)
+	st.advect(dt)
 
 	// 2. Gravity acts on the liquid phase.
-	for i := 0; i < n; i++ {
-		st.W[i] -= dt * st.Gravity * st.VOF[i]
-	}
+	st.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.W[i] -= dt * st.Gravity * st.VOF[i]
+		}
+	})
 
 	// 3. Projection. The Neumann (no-penetration) pressure solve makes
 	// the FACE-corrected field exactly divergence-free; the cell
@@ -160,9 +176,11 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	// grids). The assembled operator is the NEGATIVE Laplacian, so the
 	// right-hand side flips sign.
 	st.Sys.Divergence(st.U, st.V, st.W, st.div)
-	for i := range st.div {
-		st.div[i] /= -dt
-	}
+	st.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.div[i] /= -dt
+		}
+	})
 	for i := range st.P {
 		st.P[i] = 0
 	}
@@ -172,12 +190,37 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	}
 	st.lastDt = dt
 	st.Sys.Gradient(st.P, st.gx, st.gy, st.gz)
-	for i := 0; i < n; i++ {
-		st.U[i] -= dt * st.gx[i]
-		st.V[i] -= dt * st.gy[i]
-		st.W[i] -= dt * st.gz[i]
-	}
+	st.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.U[i] -= dt * st.gx[i]
+			st.V[i] -= dt * st.gy[i]
+			st.W[i] -= dt * st.gz[i]
+		}
+	})
 	return res, nil
+}
+
+// advect performs the semi-Lagrangian transport of velocity and volume
+// fraction. Every cell samples only the PREVIOUS field (u2..vof2 are the
+// targets), so the sweep parallelizes with bit-identical results.
+func (st *State) advect(dt float64) {
+	n := st.Sys.N()
+	st.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cx, cy, cz := st.Sys.Center(i)
+			bx := cx - dt*st.U[i]
+			by := cy - dt*st.V[i]
+			bz := cz - dt*st.W[i]
+			st.u2[i] = st.sample(st.U, bx, by, bz)
+			st.v2[i] = st.sample(st.V, bx, by, bz)
+			st.w2[i] = st.sample(st.W, bx, by, bz)
+			st.vof2[i] = st.sample(st.VOF, bx, by, bz)
+		}
+	})
+	copy(st.U, st.u2)
+	copy(st.V, st.v2)
+	copy(st.W, st.w2)
+	copy(st.VOF, st.vof2)
 }
 
 // MaxAbsDivergence returns the max-norm of the collocated cell-velocity

@@ -59,8 +59,15 @@ const LineSize = 64
 // Device is an emulated memory device. The zero value is not usable; create
 // devices with New.
 //
-// A Device may be read concurrently, but writes require external
-// synchronization, matching the semantics of raw memory.
+// Concurrency contract (the one parallel solver sweeps rely on): reads
+// and writes to DISJOINT byte ranges may proceed concurrently with each
+// other and with Grow — accounting and wear counters are atomic, and
+// growth is serialized against in-flight accesses, so no access ever
+// observes a half-swapped backing array and no wear increment is lost.
+// Overlapping writes (or a write overlapping a read) race exactly like
+// raw memory: the data outcome is undefined, though the device structure
+// and its counters stay consistent. Callers that share ranges must
+// synchronize, just as they would for a []byte.
 type Device struct {
 	kind Kind
 	lat  Latency
@@ -172,11 +179,20 @@ var ErrPowerLost = fmt.Errorf("nvbm: power lost")
 // every touched line. With an armed power cut whose countdown has
 // expired, the access panics with ErrPowerLost.
 func (d *Device) WriteAt(off int, p []byte) {
-	if cut := d.powerCut.Load(); cut >= 0 {
+	// CAS loop: a plain load-then-store would let two concurrent writers
+	// read the same countdown and lose a decrement, letting more writes
+	// land than the torture harness armed.
+	for {
+		cut := d.powerCut.Load()
+		if cut < 0 {
+			break
+		}
 		if cut == 0 {
 			panic(ErrPowerLost)
 		}
-		d.powerCut.Store(cut - 1)
+		if d.powerCut.CompareAndSwap(cut, cut-1) {
+			break
+		}
 	}
 	d.mu.RLock()
 	if off < 0 || off+len(p) > len(d.data) {

@@ -1,0 +1,139 @@
+package nvbm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDisjointWritersRacingGrow exercises the concurrency
+// contract the parallel solve paths rely on: writers touching DISJOINT
+// ranges run concurrently with each other and with Grow, and afterwards
+// the data, the wear counters, and the access accounting are all exact.
+// Run with -race; the whole point of the test is the detector.
+func TestConcurrentDisjointWritersRacingGrow(t *testing.T) {
+	const (
+		workers       = 4
+		linesPer      = 2
+		region        = linesPer * LineSize
+		writesEach    = 200
+		initialSize   = workers * region
+		finalSize     = 8 * initialSize
+		growIncrement = initialSize
+	)
+	d := New(NVBM, initialSize)
+
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	// Grower: repeatedly extends the device while writes are in flight.
+	go func() {
+		defer wg.Done()
+		for size := initialSize; size <= finalSize; size += growIncrement {
+			d.Grow(size)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w + 1)}, region)
+			off := w * region
+			for k := 0; k < writesEach; k++ {
+				d.WriteAt(off, buf)
+				got := make([]byte, region)
+				d.ReadAt(off, got)
+				if !bytes.Equal(got, buf) {
+					t.Errorf("worker %d: read back wrong data", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if d.Size() != finalSize {
+		t.Fatalf("size = %d, want %d", d.Size(), finalSize)
+	}
+	// Every write bumped exactly its own lines: no increment may be lost
+	// to a Grow swapping the wear slice mid-write.
+	ws := d.Wear()
+	if want := uint64(workers * writesEach * linesPer); ws.TotalWear != want {
+		t.Errorf("total wear = %d, want %d", ws.TotalWear, want)
+	}
+	if ws.MaxWear != writesEach {
+		t.Errorf("max wear = %d, want %d", ws.MaxWear, writesEach)
+	}
+	for w := 0; w < workers; w++ {
+		off := w * region
+		if got := d.WearMax(off, off+region); got != writesEach {
+			t.Errorf("worker %d region wear = %d, want %d", w, got, writesEach)
+		}
+	}
+	st := d.Stats()
+	if want := uint64(workers * writesEach); st.Writes != want {
+		t.Errorf("writes = %d, want %d", st.Writes, want)
+	}
+	if want := uint64(workers * writesEach * region); st.WriteBytes != want {
+		t.Errorf("write bytes = %d, want %d", st.WriteBytes, want)
+	}
+	if want := uint64(workers * writesEach); st.Reads != want {
+		t.Errorf("reads = %d, want %d", st.Reads, want)
+	}
+}
+
+// TestConcurrentWritersPowerCut verifies the power-cut countdown under
+// concurrent writers: exactly n writes land before ErrPowerLost, with no
+// decrement lost to the load/store race the CAS loop replaced.
+func TestConcurrentWritersPowerCut(t *testing.T) {
+	const (
+		workers  = 4
+		attempts = 50
+		allowed  = 37
+	)
+	d := New(NVBM, workers*LineSize)
+	d.CutPowerAfter(allowed)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		landed int
+		died   int
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := []byte{byte(w)}
+			for k := 0; k < attempts; k++ {
+				ok := func() (ok bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							if r != ErrPowerLost {
+								panic(r)
+							}
+						}
+					}()
+					d.WriteAt(w*LineSize, buf)
+					return true
+				}()
+				mu.Lock()
+				if ok {
+					landed++
+				} else {
+					died++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if landed != allowed {
+		t.Fatalf("%d writes landed, want exactly %d", landed, allowed)
+	}
+	if died != workers*attempts-allowed {
+		t.Fatalf("%d writes died, want %d", died, workers*attempts-allowed)
+	}
+	if !d.PowerLost() {
+		t.Fatal("device should report power lost")
+	}
+}

@@ -1,0 +1,259 @@
+// Package parallel provides the shared-memory worker pool behind the hot
+// solve/refine/advect paths: chunked index-range scheduling over a bounded
+// set of goroutines, plus deterministic blocked reductions.
+//
+// Determinism contract (DESIGN.md decision 9): every reduction sums
+// fixed-size blocks serially and folds the block partials together in
+// block-index order, so the result is bit-identical for ANY worker count —
+// including the nil pool's inline serial execution. Parallelism may change
+// wall time, never floating-point results; residual histories and iteration
+// counts of the solvers stay reproducible at -workers 1 and -workers 64
+// alike.
+//
+// A nil *Pool is valid and runs everything inline on the calling
+// goroutine, so call sites pay one pointer test when parallelism is off.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmoctree/internal/telemetry"
+)
+
+// BlockSize is the fixed reduction granularity: reductions accumulate
+// blocks of this many consecutive elements serially and combine the block
+// partials in index order. It is a constant of the numerics, not a tuning
+// knob — changing it changes rounding, exactly like changing a stencil.
+const BlockSize = 1024
+
+// minParallel is the smallest index range worth scheduling on goroutines;
+// below it Run executes inline regardless of worker count.
+const minParallel = 2048
+
+// Clamp normalizes a worker-count request: n <= 0 (the "use the machine"
+// default, e.g. an unset -workers flag) becomes GOMAXPROCS; anything else
+// is returned unchanged.
+func Clamp(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool is a bounded worker pool scheduling chunked index ranges. The zero
+// value and the nil pool both execute inline with one worker; construct
+// pools with New.
+type Pool struct {
+	workers int
+
+	// Optional telemetry, attached by Instrument; all nil by default so
+	// uninstrumented Run calls skip the clock reads entirely.
+	runs    *telemetry.Counter
+	chunks  *telemetry.Counter
+	chunkNs *telemetry.Histogram
+	util    *telemetry.Gauge
+}
+
+// New returns a pool with the given worker count (<= 0 selects
+// GOMAXPROCS). A 1-worker pool never spawns goroutines.
+func New(workers int) *Pool {
+	return &Pool{workers: Clamp(workers)}
+}
+
+// Workers reports the scheduling width; the nil pool has one worker.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Instrument registers the pool's metrics under prefix in reg:
+// <prefix>.runs and <prefix>.chunks count scheduling activity,
+// <prefix>.chunk_ns is the per-chunk latency distribution, and
+// <prefix>.utilization is the busy fraction (sum of chunk busy time over
+// workers x wall time) of the most recent parallel Run. The workers gauge
+// records the configured width.
+func (p *Pool) Instrument(reg *telemetry.Registry, prefix string) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.runs = reg.Counter(prefix + ".runs")
+	p.chunks = reg.Counter(prefix + ".chunks")
+	p.chunkNs = reg.Histogram(prefix + ".chunk_ns")
+	p.util = reg.Gauge(prefix + ".utilization")
+	reg.Gauge(prefix + ".workers").Set(float64(p.Workers()))
+}
+
+// Run partitions [0, n) into contiguous chunks and invokes fn(lo, hi) for
+// each, across the pool's workers. Chunk boundaries are a scheduling
+// detail: fn must treat every index in [lo, hi) independently (or reduce
+// through Sum/Dot, whose blocking is fixed). Run returns after every chunk
+// completes; a panic inside fn is re-raised on the calling goroutine.
+func (p *Pool) Run(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w == 1 || n < minParallel {
+		p.runInline(n, fn)
+		return
+	}
+	// Chunks are finer than workers so a straggler chunk cannot idle the
+	// rest of the pool; an atomic cursor hands them out.
+	chunk := (n + 4*w - 1) / (4 * w)
+	nchunks := (n + chunk - 1) / chunk
+	if w > nchunks {
+		w = nchunks
+	}
+	var (
+		cursor  atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+		busyNs  atomic.Int64
+	)
+	instrumented := p.chunkNs != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if instrumented {
+					t0 := time.Now()
+					fn(lo, hi)
+					d := time.Since(t0).Nanoseconds()
+					busyNs.Add(d)
+					p.chunkNs.Observe(uint64(d))
+					p.chunks.Inc()
+				} else {
+					fn(lo, hi)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if instrumented {
+		p.runs.Inc()
+		if wall := time.Since(start).Nanoseconds(); wall > 0 {
+			p.util.Set(float64(busyNs.Load()) / (float64(wall) * float64(p.Workers())))
+		}
+	}
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// runInline executes the whole range on the calling goroutine, still
+// feeding the telemetry so serial and parallel runs are comparable.
+func (p *Pool) runInline(n int, fn func(lo, hi int)) {
+	if p != nil && p.chunkNs != nil {
+		t0 := time.Now()
+		fn(0, n)
+		p.chunkNs.Observe(uint64(time.Since(t0).Nanoseconds()))
+		p.chunks.Inc()
+		p.runs.Inc()
+		p.util.Set(1)
+		return
+	}
+	fn(0, n)
+}
+
+// Dot returns the deterministic blocked inner product of a and b: each
+// BlockSize-aligned block is summed serially, and the partials are folded
+// in block-index order. The result is bit-identical for every worker
+// count, including the nil pool.
+func (p *Pool) Dot(a, b []float64) float64 {
+	n := len(a)
+	if n <= BlockSize {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += a[i] * b[i]
+		}
+		return acc
+	}
+	nb := (n + BlockSize - 1) / BlockSize
+	partials := make([]float64, nb)
+	p.Run(nb, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			i := blk * BlockSize
+			end := i + BlockSize
+			if end > n {
+				end = n
+			}
+			acc := 0.0
+			for ; i < end; i++ {
+				acc += a[i] * b[i]
+			}
+			partials[blk] = acc
+		}
+	})
+	acc := 0.0
+	for _, v := range partials {
+		acc += v
+	}
+	return acc
+}
+
+// Norm2 returns sqrt(Dot(a, a)) with the same determinism guarantee.
+func (p *Pool) Norm2(a []float64) float64 {
+	return math.Sqrt(p.Dot(a, a))
+}
+
+// Sum reduces term(i) over [0, n) with the blocked deterministic
+// summation. term must be a pure function of i during the call.
+func (p *Pool) Sum(n int, term func(i int) float64) float64 {
+	if n <= BlockSize {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += term(i)
+		}
+		return acc
+	}
+	nb := (n + BlockSize - 1) / BlockSize
+	partials := make([]float64, nb)
+	p.Run(nb, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			i := blk * BlockSize
+			end := i + BlockSize
+			if end > n {
+				end = n
+			}
+			acc := 0.0
+			for ; i < end; i++ {
+				acc += term(i)
+			}
+			partials[blk] = acc
+		}
+	})
+	acc := 0.0
+	for _, v := range partials {
+		acc += v
+	}
+	return acc
+}

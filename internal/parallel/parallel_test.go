@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pmoctree/internal/telemetry"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Clamp(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Clamp(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Clamp(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Clamp(7); got != 7 {
+		t.Fatalf("Clamp(7) = %d, want 7", got)
+	}
+}
+
+func TestNilPoolInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	calls := 0
+	p.Run(10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("nil pool chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool made %d calls, want 1", calls)
+	}
+}
+
+// TestRunCoversEveryIndex checks that every index is visited exactly once
+// at several worker counts and range sizes (run with -race to catch
+// overlapping chunks).
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 9} {
+		for _, n := range []int{0, 1, 7, minParallel - 1, minParallel, 3*minParallel + 17} {
+			p := New(workers)
+			seen := make([]int32, n)
+			p.Run(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	New(4).Run(minParallel*4, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+// TestDotWorkerCountInvariant is the determinism contract: blocked
+// reductions must be bit-identical at every worker count, nil pool
+// included.
+func TestDotWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, BlockSize - 1, BlockSize, BlockSize + 1, 64*1024 + 129} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 1e3
+			b[i] = rng.NormFloat64() * 1e-3
+		}
+		var nilPool *Pool
+		want := nilPool.Dot(a, b)
+		wantSum := nilPool.Sum(n, func(i int) float64 { return a[i] * b[i] })
+		if want != wantSum {
+			t.Fatalf("n=%d: Dot %v != Sum %v on nil pool", n, want, wantSum)
+		}
+		for _, workers := range []int{1, 2, 4, 16} {
+			p := New(workers)
+			if got := p.Dot(a, b); got != want {
+				t.Fatalf("n=%d workers=%d: Dot %v, want bit-identical %v", n, workers, got, want)
+			}
+			if got := p.Sum(n, func(i int) float64 { return a[i] * b[i] }); got != want {
+				t.Fatalf("n=%d workers=%d: Sum %v, want bit-identical %v", n, workers, got, want)
+			}
+			if got, want2 := p.Norm2(a), nilPool.Norm2(a); got != want2 {
+				t.Fatalf("n=%d workers=%d: Norm2 %v, want %v", n, workers, got, want2)
+			}
+		}
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(4)
+	p.Instrument(reg, "test.pool")
+	p.Run(3*minParallel, func(lo, hi int) {})
+	snap := reg.Snapshot()
+	if snap.Counters["test.pool.runs"] != 1 {
+		t.Fatalf("runs = %d, want 1", snap.Counters["test.pool.runs"])
+	}
+	if c := snap.Counters["test.pool.chunks"]; c == 0 {
+		t.Fatal("chunks = 0, want > 0")
+	}
+	if h := snap.Histograms["test.pool.chunk_ns"]; h.Count == 0 {
+		t.Fatal("chunk_ns histogram empty")
+	}
+	if w := snap.Gauges["test.pool.workers"]; w != 4 {
+		t.Fatalf("workers gauge = %v, want 4", w)
+	}
+	u := snap.Gauges["test.pool.utilization"]
+	if u < 0 || u > 1 {
+		t.Fatalf("utilization %v outside [0,1]", u)
+	}
+	// Instrumenting nil receivers must be a no-op.
+	var nilPool *Pool
+	nilPool.Instrument(reg, "x")
+	p.Instrument(nil, "y")
+}

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"pmoctree/internal/morton"
-	"pmoctree/internal/telemetry"
 )
 
 // Field is a time-dependent implicit interface driving adaptive meshing:
@@ -58,40 +57,32 @@ func FeatureOf(f Field, nextStep int) func(morton.Code, [DataWords]float64) bool
 func SolveOf(f Field, step int) func(morton.Code, *[DataWords]float64) bool {
 	return func(c morton.Code, data *[DataWords]float64) bool {
 		x, y, z := c.Center()
-		phi := f.PhiAtStep(x, y, z, step)
-		eps := c.Extent()
-		vof := quantize(smoothstep(-phi / eps))
-		target := math.Exp(-math.Abs(phi) * 8)
-		p := quantize(data[1] + 0.35*(target-data[1]))
-		w := quantize(-f.Speed() * vof)
-		if data[0] == vof && data[1] == p && data[3] == w {
-			return false
-		}
-		data[0] = vof
-		data[1] = p
-		data[2] = 0
-		data[3] = w
-		return true
+		return solveCell(f.Speed(), f.PhiAtStep(x, y, z, step), c, data)
 	}
+}
+
+// solveCell applies one relaxation update given the field's level-set
+// value at the cell center. Splitting phi out lets the parallel step
+// driver pre-evaluate the (expensive, pure) level set once per step and
+// share it across all SolverSweeps sweeps with bit-identical results.
+func solveCell(speed, phi float64, c morton.Code, data *[DataWords]float64) bool {
+	eps := c.Extent()
+	vof := quantize(smoothstep(-phi / eps))
+	target := math.Exp(-math.Abs(phi) * 8)
+	p := quantize(data[1] + 0.35*(target-data[1]))
+	w := quantize(-speed * vof)
+	if data[0] == vof && data[1] == p && data[3] == w {
+		return false
+	}
+	data[0] = vof
+	data[1] = p
+	data[2] = 0
+	data[3] = w
+	return true
 }
 
 // StepField advances mesh through one AMR time step of any workload:
 // Refine, Coarsen, Balance, then SolverSweeps relaxation sweeps.
 func StepField(m Mesh, f Field, step int, maxLevel uint8) StepCounts {
-	// The mesh spans its own routines; the driver only tags them with the
-	// step index (core.Tree tags with its own version counter instead).
-	telemetry.TracerOf(m).SetStep(uint64(step))
-	var sc StepCounts
-	sc.Refined = m.RefineWhere(RefinePredOf(f, step), maxLevel)
-	sc.Coarsened = m.CoarsenWhere(CoarsenPredOf(f, step))
-	sc.Balanced = m.Balance()
-	solve := SolveOf(f, step)
-	for it := 0; it < SolverSweeps; it++ {
-		n := m.UpdateLeaves(solve)
-		if it == 0 {
-			sc.Solved = n
-		}
-	}
-	sc.Leaves = m.LeafCount()
-	return sc
+	return StepFieldPool(m, f, step, maxLevel, nil)
 }

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
+	"pmoctree/internal/telemetry"
+)
+
+// StepWorkers is StepField with an explicit worker count: the refinement,
+// coarsening and solve PREDICATES — the level-set evaluations that
+// dominate the step's CPU time — are pre-evaluated in parallel over a
+// snapshot of the leaf codes, while the octree traversal and all device
+// accesses stay serial. The mesh evolution (refines, coarsens, field
+// values, step counts) is therefore bit-identical at every worker count;
+// workers <= 0 selects GOMAXPROCS and 1 is exactly the serial StepField.
+func StepWorkers(m Mesh, f Field, step int, maxLevel uint8, workers int) StepCounts {
+	if workers == 1 {
+		return StepFieldPool(m, f, step, maxLevel, nil)
+	}
+	return StepFieldPool(m, f, step, maxLevel, parallel.New(workers))
+}
+
+// StepFieldPool advances mesh through one AMR time step, scheduling
+// predicate evaluation on pool (nil pool: serial, identical to the
+// original StepField).
+//
+// In parallel mode the driver performs extra read-only leaf walks to
+// snapshot the codes it pre-evaluates; those walks are charged to the
+// modeled devices like any other traversal, so modeled time differs
+// from the serial path even though the simulation state does not.
+func StepFieldPool(m Mesh, f Field, step int, maxLevel uint8, pool *parallel.Pool) StepCounts {
+	// The mesh spans its own routines; the driver only tags them with the
+	// step index (core.Tree tags with its own version counter instead).
+	telemetry.TracerOf(m).SetStep(uint64(step))
+	var sc StepCounts
+	serial := pool.Workers() == 1
+
+	refine := RefinePredOf(f, step)
+	if !serial {
+		refine = memoPred(leafCodes(m), pool, refine)
+	}
+	sc.Refined = m.RefineWhere(refine, maxLevel)
+
+	coarsen := CoarsenPredOf(f, step)
+	if !serial {
+		// Coarsening tests the PARENT of a complete sibling group, so the
+		// memo covers each current leaf's parent.
+		coarsen = memoPred(leafParents(m), pool, coarsen)
+	}
+	sc.Coarsened = m.CoarsenWhere(coarsen)
+
+	sc.Balanced = m.Balance()
+
+	solve := SolveOf(f, step)
+	if !serial {
+		// The level set is a pure function of (cell, step): evaluate it
+		// once per leaf in parallel and share it across all sweeps. The
+		// serial path re-evaluates it every sweep, so this also removes
+		// (SolverSweeps-1)/SolverSweeps of the level-set work.
+		solve = memoSolve(leafCodes(m), pool, f, step)
+	}
+	for it := 0; it < SolverSweeps; it++ {
+		n := m.UpdateLeaves(solve)
+		if it == 0 {
+			sc.Solved = n
+		}
+	}
+	sc.Leaves = m.LeafCount()
+	return sc
+}
+
+// leafCodes snapshots the mesh's current leaf codes (a charged read-only
+// traversal, like any other leaf walk).
+func leafCodes(m Mesh) []morton.Code {
+	codes := make([]morton.Code, 0, m.LeafCount())
+	m.ForEachLeaf(func(c morton.Code, _ [DataWords]float64) bool {
+		codes = append(codes, c)
+		return true
+	})
+	return codes
+}
+
+// leafParents snapshots the distinct parents of the current leaves, in
+// first-encounter (Z) order.
+func leafParents(m Mesh) []morton.Code {
+	var parents []morton.Code
+	seen := make(map[morton.Code]struct{})
+	m.ForEachLeaf(func(c morton.Code, _ [DataWords]float64) bool {
+		if c.Level() == 0 {
+			return true
+		}
+		p := c.Parent()
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			parents = append(parents, p)
+		}
+		return true
+	})
+	return parents
+}
+
+// memoPred evaluates pred over codes on the pool and returns a lookup
+// predicate. Codes outside the snapshot (octants created mid-pass —
+// refinement recursing into fresh children, coarsening cascading upward)
+// fall back to direct evaluation, so the memo is an optimization, never a
+// semantic change.
+func memoPred(codes []morton.Code, pool *parallel.Pool, pred func(morton.Code) bool) func(morton.Code) bool {
+	vals := make([]bool, len(codes))
+	pool.Run(len(codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = pred(codes[i])
+		}
+	})
+	memo := make(map[morton.Code]bool, len(codes))
+	for i, c := range codes {
+		memo[c] = vals[i]
+	}
+	return func(c morton.Code) bool {
+		if v, ok := memo[c]; ok {
+			return v
+		}
+		return pred(c)
+	}
+}
+
+// memoSolve pre-evaluates the level set at every leaf center on the pool
+// and returns the relaxation sweep reading from the memo (falling back to
+// direct evaluation for unknown codes).
+func memoSolve(codes []morton.Code, pool *parallel.Pool, f Field, step int) func(morton.Code, *[DataWords]float64) bool {
+	phis := make([]float64, len(codes))
+	pool.Run(len(codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y, z := codes[i].Center()
+			phis[i] = f.PhiAtStep(x, y, z, step)
+		}
+	})
+	memo := make(map[morton.Code]float64, len(codes))
+	for i, c := range codes {
+		memo[c] = phis[i]
+	}
+	speed := f.Speed()
+	return func(c morton.Code, data *[DataWords]float64) bool {
+		phi, ok := memo[c]
+		if !ok {
+			x, y, z := c.Center()
+			phi = f.PhiAtStep(x, y, z, step)
+		}
+		return solveCell(speed, phi, c, data)
+	}
+}

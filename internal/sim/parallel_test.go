@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+)
+
+// leafSnapshot flattens a mesh into an ordered (code, data) listing for
+// exact comparison.
+type leafSnapshot struct {
+	code morton.Code
+	data [DataWords]float64
+}
+
+func snapshot(m Mesh) []leafSnapshot {
+	var out []leafSnapshot
+	m.ForEachLeaf(func(c morton.Code, d [DataWords]float64) bool {
+		out = append(out, leafSnapshot{c, d})
+		return true
+	})
+	return out
+}
+
+// TestStepWorkersDeterminism: running the AMR driver with a worker pool
+// must evolve the mesh exactly as the serial driver does — same counts
+// each step, same leaves, same field words, same liquid volume.
+func TestStepWorkersDeterminism(t *testing.T) {
+	const steps = 6
+
+	run := func(workers int) ([]StepCounts, []leafSnapshot, float64, *core.Tree) {
+		m := core.Create(core.Config{})
+		f := NewDroplet(DropletConfig{Steps: steps})
+		counts := make([]StepCounts, steps)
+		for s := 0; s < steps; s++ {
+			counts[s] = StepWorkers(m, f, s, 5, workers)
+		}
+		return counts, snapshot(m), LiquidVolume(m), m
+	}
+
+	refCounts, refLeaves, refVol, _ := run(1)
+	if len(refLeaves) == 0 {
+		t.Fatal("serial run produced an empty mesh")
+	}
+	for _, workers := range []int{2, 4} {
+		counts, leaves, vol, m := run(workers)
+		for s := range counts {
+			if counts[s] != refCounts[s] {
+				t.Errorf("workers=%d step %d: counts %+v, serial %+v", workers, s, counts[s], refCounts[s])
+			}
+		}
+		if len(leaves) != len(refLeaves) {
+			t.Fatalf("workers=%d: %d leaves, serial %d", workers, len(leaves), len(refLeaves))
+		}
+		for i := range leaves {
+			if leaves[i].code != refLeaves[i].code {
+				t.Fatalf("workers=%d: leaf %d code %v, serial %v", workers, i, leaves[i].code, refLeaves[i].code)
+			}
+			if leaves[i].data != refLeaves[i].data {
+				t.Fatalf("workers=%d: leaf %d (%v) field words differ from serial", workers, i, leaves[i].code)
+			}
+		}
+		if vol != refVol {
+			t.Errorf("workers=%d: liquid volume %v, serial %v", workers, vol, refVol)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestStepWorkersMatchesStepField: StepField is the workers=1 special
+// case of the pool driver, so the two entry points must agree exactly.
+func TestStepWorkersMatchesStepField(t *testing.T) {
+	mA := core.Create(core.Config{})
+	mB := core.Create(core.Config{})
+	fA := NewDroplet(DropletConfig{Steps: 4})
+	fB := NewDroplet(DropletConfig{Steps: 4})
+	for s := 0; s < 4; s++ {
+		a := StepField(mA, fA, s, 4)
+		b := StepWorkers(mB, fB, s, 4, 1)
+		if a != b {
+			t.Fatalf("step %d: StepField %+v, StepWorkers(1) %+v", s, a, b)
+		}
+	}
+	la, lb := snapshot(mA), snapshot(mB)
+	if len(la) != len(lb) {
+		t.Fatalf("leaf counts diverge: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("leaf %d diverges between entry points", i)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"fmt"
-	"math"
 
 	"pmoctree/internal/morton"
 )
@@ -27,22 +26,24 @@ func axisOf(di int) (axis int, sign float64) {
 // zero at walls (no-penetration boundaries).
 func (s *System) Divergence(u, v, w []float64, out []float64) {
 	comp := [3][]float64{u, v, w}
-	for i, c := range s.codes {
-		e := c.Extent()
-		vol := e * e * e
-		acc := 0.0
-		for _, f := range s.faces[i] {
-			axis, sign := axisOf(f.dir)
-			var uf float64
-			if f.neighbor >= 0 {
-				uf = 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
-			} else {
-				uf = 0 // wall: no flow through
+	s.pool.Run(len(s.codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			vol := e * e * e
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				axis, sign := axisOf(f.dir)
+				var uf float64
+				if f.neighbor >= 0 {
+					uf = 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				} else {
+					uf = 0 // wall: no flow through
+				}
+				acc += sign * f.area * uf
 			}
-			acc += sign * f.area * uf
+			out[i] = acc / vol
 		}
-		out[i] = acc / vol
-	}
+	})
 }
 
 // Gradient computes a cell-centered estimate of grad(p) using
@@ -50,31 +51,36 @@ func (s *System) Divergence(u, v, w []float64, out []float64) {
 // homogeneous Neumann for the projection gradient).
 func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 	out := [3][]float64{gx, gy, gz}
-	var wsum [3]float64
-	var acc [3]float64
-	for i, c := range s.codes {
-		h := c.Extent()
-		for a := 0; a < 3; a++ {
-			wsum[a], acc[a] = 0, 0
-		}
-		for _, f := range s.faces[i] {
-			if f.neighbor < 0 {
-				continue
+	// The accumulators live inside the chunk body: hoisting them to
+	// function scope (as an earlier revision did) would be a data race
+	// once the sweep runs on the pool.
+	s.pool.Run(len(s.codes), func(lo, hi int) {
+		var wsum [3]float64
+		var acc [3]float64
+		for i := lo; i < hi; i++ {
+			h := s.codes[i].Extent()
+			for a := 0; a < 3; a++ {
+				wsum[a], acc[a] = 0, 0
 			}
-			axis, sign := axisOf(f.dir)
-			hj := s.codes[f.neighbor].Extent()
-			d := (h + hj) / 2
-			acc[axis] += f.area * sign * (p[f.neighbor] - p[i]) / d
-			wsum[axis] += f.area
-		}
-		for a := 0; a < 3; a++ {
-			if wsum[a] > 0 {
-				out[a][i] = acc[a] / wsum[a]
-			} else {
-				out[a][i] = 0
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				axis, sign := axisOf(f.dir)
+				hj := s.codes[f.neighbor].Extent()
+				d := (h + hj) / 2
+				acc[axis] += f.area * sign * (p[f.neighbor] - p[i]) / d
+				wsum[axis] += f.area
+			}
+			for a := 0; a < 3; a++ {
+				if wsum[a] > 0 {
+					out[a][i] = acc[a] / wsum[a]
+				} else {
+					out[a][i] = 0
+				}
 			}
 		}
-	}
+	})
 }
 
 // ApplyNeumann computes y = A_N x, the Neumann (wall-flux-free) variant
@@ -82,16 +88,18 @@ func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 // null space. This is the projection operator of incompressible flow with
 // no-penetration walls.
 func (s *System) ApplyNeumann(x, y []float64) {
-	for i := range s.codes {
-		acc := 0.0
-		for _, f := range s.faces[i] {
-			if f.neighbor < 0 {
-				continue
+	s.pool.Run(len(s.codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				acc += f.t * (x[i] - x[f.neighbor])
 			}
-			acc += f.t * (x[i] - x[f.neighbor])
+			y[i] = acc
 		}
-		y[i] = acc
-	}
+	})
 }
 
 // SolveNeumann runs CG on the (singular, semidefinite) Neumann operator:
@@ -110,87 +118,112 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 		opt.MaxIter = 10 * n
 	}
 	rhs := make([]float64, n)
-	var rhsSum, volSum float64
-	for i, c := range s.codes {
-		e := c.Extent()
-		v := e * e * e
-		rhs[i] = b[i] * v
-		rhsSum += rhs[i]
-		volSum += v
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			rhs[i] = b[i] * e * e * e
+		}
+	})
+	rhsSum := s.pool.Sum(n, func(i int) float64 { return rhs[i] })
+	volSum := s.pool.Sum(n, func(i int) float64 {
+		e := s.codes[i].Extent()
+		return e * e * e
+	})
 	// Enforce compatibility exactly: remove the (tiny) incompatible
 	// component that floating point left behind.
-	for i, c := range s.codes {
-		e := c.Extent()
-		rhs[i] -= rhsSum * (e * e * e) / volSum
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			rhs[i] -= rhsSum * (e * e * e) / volSum
+		}
+	})
 
 	// Neumann diagonal (wall terms excluded) for the Jacobi preconditioner.
 	diag := make([]float64, n)
-	for i := range s.codes {
-		for _, f := range s.faces[i] {
-			if f.neighbor >= 0 {
-				diag[i] += f.t
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, f := range s.faces[i] {
+				if f.neighbor >= 0 {
+					diag[i] += f.t
+				}
+			}
+			if diag[i] == 0 {
+				diag[i] = 1 // isolated cell (single-cell mesh)
 			}
 		}
-		if diag[i] == 0 {
-			diag[i] = 1 // isolated cell (single-cell mesh)
-		}
-	}
+	})
 
 	r := make([]float64, n)
 	s.ApplyNeumann(x, r)
-	for i := range r {
-		r[i] = rhs[i] - r[i]
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = rhs[i] - r[i]
+		}
+	})
 	z := make([]float64, n)
-	for i := range z {
-		z[i] = r[i] / diag[i]
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+		}
+	})
 	p := append([]float64(nil), z...)
 	ap := make([]float64, n)
-	rz := dot(r, z)
-	norm0 := math.Sqrt(dot(rhs, rhs))
+	rz := s.pool.Dot(r, z)
+	norm0 := s.pool.Norm2(rhs)
 	if norm0 == 0 {
+		// A zero right-hand side means the projection has nothing to do;
+		// any constant solves the singular system and the mean-free
+		// representative is x = 0. Returning the untouched initial guess
+		// here (as an earlier revision did) would silently hand back an
+		// unconverged x.
+		for i := range x {
+			x[i] = 0
+		}
 		return Result{Converged: true}, nil
 	}
 	var res Result
 	for res.Iterations = 0; res.Iterations < opt.MaxIter; res.Iterations++ {
-		res.Residual = math.Sqrt(dot(r, r)) / norm0
+		res.Residual = s.pool.Norm2(r) / norm0
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			break
 		}
 		s.ApplyNeumann(p, ap)
-		pap := dot(p, ap)
+		pap := s.pool.Dot(p, ap)
 		if pap <= 0 {
 			break // numerical null-space contamination
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		for i := range z {
-			z[i] = r[i] / diag[i]
-		}
-		rzNew := dot(r, z)
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+		})
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = r[i] / diag[i]
+			}
+		})
+		rzNew := s.pool.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 	}
 	// Pin the solution: remove the volume-weighted mean.
-	var xm float64
-	for i, c := range s.codes {
-		e := c.Extent()
-		xm += x[i] * e * e * e
-	}
-	xm /= volSum
-	for i := range x {
-		x[i] -= xm
-	}
+	xm := s.pool.Sum(n, func(i int) float64 {
+		e := s.codes[i].Extent()
+		return x[i] * e * e * e
+	}) / volSum
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] -= xm
+		}
+	})
 	res.Converged = res.Converged || res.Residual <= opt.Tol
 	return res, nil
 }
@@ -202,22 +235,24 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 // exact discrete projection.
 func (s *System) ProjectedDivergence(u, v, w, p []float64, dt float64, out []float64) {
 	comp := [3][]float64{u, v, w}
-	for i, c := range s.codes {
-		e := c.Extent()
-		vol := e * e * e
-		acc := 0.0
-		for _, f := range s.faces[i] {
-			if f.neighbor < 0 {
-				continue
+	s.pool.Run(len(s.codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			vol := e * e * e
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				axis, sign := axisOf(f.dir)
+				uf := 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				// Outward-normal correction: u_out -= dt (p_j - p_i)/d,
+				// i.e. flux -= dt * T * (p_j - p_i).
+				acc += sign*f.area*uf - dt*f.t*(p[f.neighbor]-p[i])
 			}
-			axis, sign := axisOf(f.dir)
-			uf := 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
-			// Outward-normal correction: u_out -= dt (p_j - p_i)/d,
-			// i.e. flux -= dt * T * (p_j - p_i).
-			acc += sign*f.area*uf - dt*f.t*(p[f.neighbor]-p[i])
+			out[i] = acc / vol
 		}
-		out[i] = acc / vol
-	}
+	})
 }
 
 // CellAt returns the index of the cell containing the point (x, y, z) in

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
 )
 
 // face is one flux connection of a cell.
@@ -37,12 +38,41 @@ type face struct {
 }
 
 // System is the assembled Poisson operator on one mesh snapshot.
+//
+// A System is safe for concurrent read-only use (Apply, Divergence, ...
+// into caller-owned output vectors); the iterative solvers own their
+// scratch state, so distinct Solve calls on distinct vectors may also run
+// concurrently.
 type System struct {
 	codes []morton.Code
 	index map[morton.Code]int
 	faces [][]face
 	diag  []float64 // sum of transmissibilities per cell
+
+	// pool schedules the matrix-free kernels; nil runs them inline.
+	// Reductions go through the pool's blocked summation either way, so
+	// results are bit-identical at every worker count.
+	pool *parallel.Pool
 }
+
+// SetWorkers sets the worker count for the system's kernels (SpMV,
+// axpy-style sweeps, reductions). n <= 0 selects GOMAXPROCS; 1 restores
+// serial inline execution. Results are bit-identical for every n — the
+// reductions are deterministic blocked sums (see internal/parallel).
+func (s *System) SetWorkers(n int) {
+	if n == 1 {
+		s.pool = nil
+		return
+	}
+	s.pool = parallel.New(n)
+}
+
+// SetPool attaches a caller-owned (possibly instrumented) pool; nil
+// restores serial execution.
+func (s *System) SetPool(p *parallel.Pool) { s.pool = p }
+
+// Workers reports the configured scheduling width.
+func (s *System) Workers() int { return s.pool.Workers() }
 
 // dirs are the six face directions.
 var dirs = [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
@@ -165,17 +195,20 @@ func (s *System) N() int { return len(s.codes) }
 func (s *System) Codes() []morton.Code { return s.codes }
 
 // Apply computes y = A x, where A is the (SPD) negative Laplacian with
-// Dirichlet walls: (Ax)_i = sum_f T_f (x_i - x_j), wall x_j = 0.
+// Dirichlet walls: (Ax)_i = sum_f T_f (x_i - x_j), wall x_j = 0. Rows are
+// independent, so the sweep parallelizes without changing any result bit.
 func (s *System) Apply(x, y []float64) {
-	for i := range s.codes {
-		acc := s.diag[i] * x[i]
-		for _, f := range s.faces[i] {
-			if f.neighbor >= 0 {
-				acc -= f.t * x[f.neighbor]
+	s.pool.Run(len(s.codes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := s.diag[i] * x[i]
+			for _, f := range s.faces[i] {
+				if f.neighbor >= 0 {
+					acc -= f.t * x[f.neighbor]
+				}
 			}
+			y[i] = acc
 		}
-		y[i] = acc
-	}
+	})
 }
 
 // Options tunes the CG iteration.
@@ -211,28 +244,37 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 
 	// rhs_i = b_i * V_i (finite-volume integration).
 	rhs := make([]float64, n)
-	for i, c := range s.codes {
-		e := c.Extent()
-		rhs[i] = b[i] * e * e * e
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			rhs[i] = b[i] * e * e * e
+		}
+	})
 
 	r := make([]float64, n)
 	s.Apply(x, r)
-	for i := range r {
-		r[i] = rhs[i] - r[i]
-	}
+	s.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = rhs[i] - r[i]
+		}
+	})
 	z := make([]float64, n)
 	precond := func() {
-		for i := range z {
-			z[i] = r[i] / s.diag[i]
-		}
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = r[i] / s.diag[i]
+			}
+		})
 	}
 	precond()
 	p := append([]float64(nil), z...)
 	ap := make([]float64, n)
 
-	rz := dot(r, z)
-	norm0 := math.Sqrt(dot(rhs, rhs))
+	rz := s.pool.Dot(r, z)
+	// An all-zero right-hand side (no sources anywhere) has the exact
+	// solution x = 0; dividing by norm0 would turn every residual into
+	// NaN, so report the converged zero solution instead.
+	norm0 := s.pool.Norm2(rhs)
 	if norm0 == 0 {
 		for i := range x {
 			x[i] = 0
@@ -242,34 +284,36 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 
 	var res Result
 	for res.Iterations = 0; res.Iterations < opt.MaxIter; res.Iterations++ {
-		res.Residual = math.Sqrt(dot(r, r)) / norm0
+		res.Residual = s.pool.Norm2(r) / norm0
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			return res, nil
 		}
 		s.Apply(p, ap)
-		alpha := rz / dot(p, ap)
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
+		alpha := rz / s.pool.Dot(p, ap)
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+		})
 		precond()
-		rzNew := dot(r, z)
+		rzNew := s.pool.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		s.pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 	}
-	res.Residual = math.Sqrt(dot(r, r)) / norm0
+	res.Residual = s.pool.Norm2(r) / norm0
 	res.Converged = res.Residual <= opt.Tol
 	return res, nil
 }
 
+// dot is the serial form of the deterministic blocked inner product —
+// the same blocking every pool width uses (internal/parallel).
 func dot(a, b []float64) float64 {
-	acc := 0.0
-	for i := range a {
-		acc += a[i] * b[i]
-	}
-	return acc
+	return (*parallel.Pool)(nil).Dot(a, b)
 }

@@ -35,6 +35,7 @@ import (
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/octree"
+	"pmoctree/internal/parallel"
 	"pmoctree/internal/sim"
 	"pmoctree/internal/solver"
 )
@@ -162,6 +163,29 @@ type StepCounts = sim.StepCounts
 func Step(m AdaptiveMesh, w Workload, step int, maxLevel uint8) StepCounts {
 	return sim.StepField(m, w, step, maxLevel)
 }
+
+// StepWorkers is Step with the predicate and leaf-solve evaluation fanned
+// out over a deterministic worker pool. Results are bit-identical to Step
+// for every worker count; workers <= 0 means GOMAXPROCS.
+func StepWorkers(m AdaptiveMesh, w Workload, step int, maxLevel uint8, workers int) StepCounts {
+	return sim.StepWorkers(m, w, step, maxLevel, workers)
+}
+
+// StepPool is StepWorkers with an explicit (possibly shared, possibly
+// instrumented) pool. A nil pool runs serially.
+func StepPool(m AdaptiveMesh, w Workload, step int, maxLevel uint8, pool *WorkerPool) StepCounts {
+	return sim.StepFieldPool(m, w, step, maxLevel, pool)
+}
+
+// WorkerPool is the deterministic bounded worker pool behind every
+// parallel path (solver sweeps, advection, AMR predicate evaluation). A
+// nil *WorkerPool runs inline on the calling goroutine; reductions are
+// blocked so results do not depend on the worker count.
+type WorkerPool = parallel.Pool
+
+// NewWorkerPool builds a pool with the given worker count (<= 0 means
+// GOMAXPROCS). Share one pool across subsystems via their SetPool methods.
+func NewWorkerPool(workers int) *WorkerPool { return parallel.New(workers) }
 
 // InCoreMesh is the Gerris-style baseline: an ephemeral pointer octree in
 // DRAM that persists by writing whole snapshot files.
