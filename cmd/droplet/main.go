@@ -9,6 +9,12 @@
 // -trace and -metrics export the run's telemetry (Chrome trace_event
 // timeline and per-step JSONL records); -debug serves expvar, the metrics
 // registry and pprof over HTTP while the run executes.
+//
+// -chaos <seed> runs the fault-injection soak instead: the workload steps
+// under seeded torn power cuts, bit-rot, wear-out, and lossy replica
+// shipping, recovering every crash through scrub, multi-version fallback,
+// and replica failover, and exits nonzero if any recovery lands on a
+// state that was never committed.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"pmoctree"
+	"pmoctree/internal/fault"
 	"pmoctree/internal/telemetry"
 )
 
@@ -37,8 +44,25 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write per-step JSONL records to `file`")
 		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 		workers     = flag.Int("workers", 0, "worker-pool width for predicate/solve evaluation (0 = GOMAXPROCS); results are identical for any value")
+		chaosSeed   = flag.Int64("chaos", 0, "run the chaos soak with this fault-injection `seed` (nonzero) instead of a clean run")
 	)
 	flag.Parse()
+
+	if *chaosSeed != 0 {
+		rep, err := fault.Run(fault.ChaosConfig{
+			Seed:       *chaosSeed,
+			Steps:      *steps,
+			MaxLevel:   uint8(*maxLevel),
+			DRAMBudget: *budget,
+		})
+		fmt.Print(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "droplet: chaos run FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos run passed: every crash recovered to a committed version")
+		return
+	}
 
 	pool := pmoctree.NewWorkerPool(*workers)
 

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// ErrLinkFailure is returned by LossyNetwork.Ship when a frame could not
+// be delivered within the retry budget; the receiver's copy is now stale
+// (degraded mode) until a later frame succeeds.
+var ErrLinkFailure = errors.New("cluster: frame undeliverable within retry budget")
+
+// LossyNetwork wraps an alpha-beta Network with a seeded fault model for
+// replica shipping: each delivery attempt is independently dropped (the
+// frame vanishes; the sender notices via timeout) or corrupted (the
+// receiver's checksum verify fails and it NACKs) with the configured
+// probabilities. Ship retries with exponential backoff up to RetryLimit
+// re-sends, charging modeled time for every attempt, and reports a link
+// failure when the budget is exhausted.
+//
+// The model is deterministic for a fixed seed and call sequence; it is
+// not safe for concurrent use, matching the serial replica pipeline.
+type LossyNetwork struct {
+	Net         Network
+	DropProb    float64 // per-attempt probability the frame is lost in flight
+	CorruptProb float64 // per-attempt probability the frame arrives damaged
+	RetryLimit  int     // re-sends after the first attempt
+	BackoffNs   float64 // backoff before the first re-send; doubles per retry
+	TimeoutNs   float64 // sender wait before declaring a frame dropped
+
+	rng   *rand.Rand
+	stats LossyStats
+}
+
+// LossyStats counts delivery outcomes and the modeled time they cost.
+type LossyStats struct {
+	Frames     uint64  // Ship calls
+	Attempts   uint64  // individual sends, including retries
+	Delivered  uint64  // frames that eventually arrived intact
+	Drops      uint64  // attempts lost in flight
+	Corrupts   uint64  // attempts that arrived damaged (checksum NACK)
+	Failures   uint64  // frames abandoned after the retry budget
+	TransferNs float64 // modeled wire time, all attempts
+	BackoffNs  float64 // modeled backoff + timeout waiting
+}
+
+// NewLossyNetwork builds a lossy link over net with the given per-attempt
+// drop and corrupt probabilities and the given RNG seed. Retry and
+// backoff parameters default to 4 re-sends, a backoff of 10x the network
+// alpha, and a drop-detection timeout of 4x the alpha.
+func NewLossyNetwork(net Network, dropProb, corruptProb float64, seed int64) *LossyNetwork {
+	return &LossyNetwork{
+		Net:         net,
+		DropProb:    dropProb,
+		CorruptProb: corruptProb,
+		RetryLimit:  4,
+		BackoffNs:   10 * net.AlphaNs,
+		TimeoutNs:   4 * net.AlphaNs,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Ship models reliably delivering one checksummed frame of the given wire
+// size: send, and on drop (timeout) or corruption (NACK) back off
+// exponentially and re-send, up to RetryLimit re-sends. It returns the
+// total modeled nanoseconds spent — successful or not — and ErrLinkFailure
+// when the frame never got through.
+func (l *LossyNetwork) Ship(bytes int) (float64, error) {
+	l.stats.Frames++
+	var ns float64
+	for attempt := 0; attempt <= l.RetryLimit; attempt++ {
+		if attempt > 0 {
+			b := l.BackoffNs * float64(uint64(1)<<(attempt-1))
+			ns += b
+			l.stats.BackoffNs += b
+		}
+		l.stats.Attempts++
+		c := l.Net.Transfer(bytes)
+		ns += c
+		l.stats.TransferNs += c
+		r := l.rng.Float64()
+		switch {
+		case r < l.DropProb:
+			l.stats.Drops++
+			ns += l.TimeoutNs
+			l.stats.BackoffNs += l.TimeoutNs
+		case r < l.DropProb+l.CorruptProb:
+			l.stats.Corrupts++
+			// The NACK is a tiny control message back to the sender.
+			n := l.Net.Transfer(16)
+			ns += n
+			l.stats.TransferNs += n
+		default:
+			l.stats.Delivered++
+			return ns, nil
+		}
+	}
+	l.stats.Failures++
+	return ns, ErrLinkFailure
+}
+
+// Stats returns the accumulated delivery statistics.
+func (l *LossyNetwork) Stats() LossyStats { return l.stats }

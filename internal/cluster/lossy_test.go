@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLossyShipLossless(t *testing.T) {
+	l := NewLossyNetwork(Gemini(), 0, 0, 1)
+	ns, err := l.Ship(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := l.Net.Transfer(4096); ns != want {
+		t.Errorf("lossless ship cost %v, want one transfer %v", ns, want)
+	}
+	st := l.Stats()
+	if st.Frames != 1 || st.Attempts != 1 || st.Delivered != 1 || st.Drops+st.Corrupts+st.Failures != 0 {
+		t.Errorf("stats = %+v, want one clean delivery", st)
+	}
+}
+
+func TestLossyShipDeterministic(t *testing.T) {
+	run := func() (LossyStats, float64, int) {
+		l := NewLossyNetwork(Gemini(), 0.3, 0.2, 77)
+		var total float64
+		fails := 0
+		for i := 0; i < 200; i++ {
+			ns, err := l.Ship(1 << 12)
+			total += ns
+			if err != nil {
+				if !errors.Is(err, ErrLinkFailure) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				fails++
+			}
+		}
+		return l.Stats(), total, fails
+	}
+	s1, t1, f1 := run()
+	s2, t2, f2 := run()
+	if s1 != s2 || t1 != t2 || f1 != f2 {
+		t.Fatalf("same seed diverged: %+v/%v/%d vs %+v/%v/%d", s1, t1, f1, s2, t2, f2)
+	}
+	if s1.Drops == 0 || s1.Corrupts == 0 {
+		t.Errorf("fault model idle: %+v", s1)
+	}
+	if s1.Attempts <= s1.Frames {
+		t.Error("no retries happened at 50% per-attempt loss")
+	}
+}
+
+// TestLossyShipRetryAccounting forces every attempt to drop and pins the
+// retry/backoff arithmetic: 1+RetryLimit attempts, exponentially doubling
+// backoff, a timeout per drop, and ErrLinkFailure at the end.
+func TestLossyShipRetryAccounting(t *testing.T) {
+	l := NewLossyNetwork(Gemini(), 1.0, 0, 5)
+	const size = 1000
+	ns, err := l.Ship(size)
+	if !errors.Is(err, ErrLinkFailure) {
+		t.Fatalf("err = %v, want ErrLinkFailure", err)
+	}
+	attempts := float64(l.RetryLimit + 1)
+	wantBackoff := 0.0
+	for a := 1; a <= l.RetryLimit; a++ {
+		wantBackoff += l.BackoffNs * float64(uint64(1)<<(a-1))
+	}
+	want := attempts*(l.Net.Transfer(size)+l.TimeoutNs) + wantBackoff
+	if ns != want {
+		t.Errorf("total ns = %v, want %v", ns, want)
+	}
+	st := l.Stats()
+	if st.Attempts != uint64(attempts) || st.Drops != uint64(attempts) || st.Failures != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLossyShipCorruptNACK: a corrupted delivery costs a NACK transfer,
+// not a timeout, and the frame still gets through on a later attempt.
+func TestLossyShipCorruptNACK(t *testing.T) {
+	l := NewLossyNetwork(Gemini(), 0, 0.9999, 9)
+	l.RetryLimit = 10000 // corruption alone can't exhaust this budget fast
+	_, err := l.Ship(100)
+	if err != nil {
+		t.Fatalf("frame never delivered: %v", err)
+	}
+	st := l.Stats()
+	if st.Corrupts == 0 || st.Drops != 0 || st.Delivered != 1 {
+		t.Errorf("stats = %+v, want corrupt NACKs then one delivery", st)
+	}
+}

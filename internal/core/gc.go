@@ -18,6 +18,7 @@ func (t *Tree) GC() int {
 	if t.cur != t.committed {
 		t.mark(t.cur, marked)
 	}
+	t.markRetained(marked)
 	freed := 0
 	for h := pmem.Handle(1); uint32(h) <= t.nv.HighWater(); h++ {
 		if t.nv.Live(h) && !marked[h] {

@@ -156,6 +156,10 @@ func (t *Tree) moveToNVBMUnder(r, parent Ref, setParent bool) Ref {
 func (t *Tree) Persist() int {
 	defer t.span("Persist").End()
 	t.cur = t.moveToNVBM(t.cur)
+	// The outgoing committed version enters the fallback ring before it is
+	// superseded; a crash inside pushHistory damages at most the ring's
+	// oldest entry, never the commit record.
+	t.pushHistory()
 	// Ordering matters for crash consistency: the step counter must be
 	// durable BEFORE the root pointer. If power fails between the two
 	// stores, recovery sees the old root with the new step number and
@@ -166,6 +170,7 @@ func (t *Tree) Persist() int {
 	t.nv.SetRoot(rootSlotStep, t.step)
 	t.nv.SetRoot(rootSlotAddr, uint64(t.cur))
 	t.committed = t.cur
+	t.committedStep = t.step
 	t.step++
 	t.stats.Persists++
 	freed := 0

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -52,6 +51,16 @@ type Config struct {
 	GCEvery int
 	// Seed drives the deterministic sampling RNG.
 	Seed int64
+	// VerifyRestore makes Restore deeply validate the newest committed
+	// version (structure + media CRCs) before accepting it, instead of
+	// only on fallback candidates. Off by default: the paper's restore is
+	// O(1) and torture tests rely on that cost.
+	VerifyRestore bool
+	// RetainVersions, when k > 0, makes GC keep the k newest superseded
+	// versions reachable (clamped to the fallback ring depth), so restore
+	// can genuinely walk back to them after media damage. Default 0:
+	// superseded versions are reclaimed as the paper prescribes.
+	RetainVersions int
 
 	// NVBMDevice, when set, is the persistent region to use (e.g. one
 	// reopened after a crash). Otherwise a fresh device is created.
@@ -79,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.GCEvery <= 0 {
 		c.GCEvery = 1
 	}
+	if c.RetainVersions > histSlots {
+		c.RetainVersions = histSlots
+	}
 	if c.NVBMDevice == nil {
 		c.NVBMDevice = nvbm.New(nvbm.NVBM, 0)
 	}
@@ -101,9 +113,10 @@ type Tree struct {
 	dram *pmem.Arena // C0: hot subtrees + trunk of the working version
 	nv   *pmem.Arena // C1 + all committed octants
 
-	committed Ref    // root of V(i-1), always NVBM, never mutated
-	cur       Ref    // root of V(i), the working version
-	step      uint64 // working version number
+	committed     Ref    // root of V(i-1), always NVBM, never mutated
+	cur           Ref    // root of V(i), the working version
+	step          uint64 // working version number
+	committedStep uint64 // version number of committed (indexes the fallback ring)
 
 	// Layout state (§3.3).
 	lsub     uint8                  // subtree level L_sub (Eq. 1)
@@ -172,38 +185,12 @@ func Create(cfg Config) *Tree {
 // restart (pm_restore, Table 1). The working version is reset to the last
 // committed version; octants reachable only from a lost working version
 // are reclaimed by the next GC pass, not here — restoring is
-// near-instantaneous because no octant data moves.
+// near-instantaneous because no octant data moves. When the committed
+// version is damaged, recovery walks back through the persistent fallback
+// ring to the newest intact version (see RestoreWithReport).
 func Restore(cfg Config) (*Tree, error) {
-	cfg = cfg.withDefaults()
-	nv, err := pmem.OpenArena(cfg.NVBMDevice)
-	if err != nil {
-		return nil, fmt.Errorf("core: restoring PM-octree: %w", err)
-	}
-	if nv.SlotSize() != RecordSize {
-		return nil, fmt.Errorf("core: arena slot size %d does not hold octant records", nv.SlotSize())
-	}
-	root := Ref(nv.Root(rootSlotAddr))
-	if root.IsNil() || root.InDRAM() || !nv.Live(root.Handle()) {
-		return nil, fmt.Errorf("core: committed root %v is not a live NVBM octant", root)
-	}
-	t := &Tree{
-		cfg:       cfg,
-		dram:      pmem.NewArena(cfg.DRAMDevice, RecordSize),
-		nv:        nv,
-		committed: root,
-		cur:       root,
-		step:      nv.Root(rootSlotStep) + 1,
-		hot:       map[morton.Code]bool{},
-		access:    map[morton.Code]uint64{},
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		lsub:      1,
-	}
-	t.dram.SetBudget(cfg.DRAMBudgetOctants)
-	if cfg.NVBMBudgetOctants > 0 {
-		t.nv.SetBudget(cfg.NVBMBudgetOctants)
-	}
-	t.nv.SetWearLeveling(cfg.WearLeveling)
-	return t, nil
+	t, _, err := RestoreWithReport(cfg)
+	return t, err
 }
 
 // Delete drops all octants in both regions (pm_delete, Table 1). The

@@ -72,23 +72,47 @@ type Device struct {
 	kind Kind
 	lat  Latency
 
-	mu   sync.RWMutex // guards growth of data/wear
-	data []byte
-	wear []uint32 // per-LineSize-line write counts (NVBM only)
+	mu      sync.RWMutex // guards growth of data/wear/lineCRC, and spare
+	data    []byte
+	wear    []uint32 // per-LineSize-line write counts (NVBM only)
+	lineCRC []uint32 // per-line CRC-32 shadow (media tracking; see faults.go)
+	spare   int      // spare lines available for remapping worn-out lines
 
 	inject    atomic.Bool // spin-delay injection enabled
 	unmetered atomic.Bool // accounting suspended (instrumentation walks)
+	track     atomic.Bool // media tracking (per-line CRC shadow) enabled
 
 	// powerCut, when armed (>= 0), counts down on every write; once it
 	// reaches zero the device stops accepting writes, emulating power
 	// failing mid-operation. -1 = disarmed.
 	powerCut atomic.Int64
+	// tornPending marks that the write tripping the countdown should be
+	// torn (a seeded subset of its lines persists) rather than dropped
+	// atomically; exactly one racing writer wins the tear.
+	tornPending atomic.Bool
+	tornSeed    atomic.Int64
+	// wearLimit, when nonzero, is the per-line endurance threshold: lines
+	// at or beyond it silently drop stores until scrub remaps them.
+	wearLimit atomic.Uint32
 
 	reads      atomic.Uint64
 	writes     atomic.Uint64
 	readBytes  atomic.Uint64
 	writeBytes atomic.Uint64
 	modeledNs  atomic.Uint64
+
+	// Fault and self-healing counters (see faults.go).
+	tornWrites  atomic.Uint64
+	tornDropped atomic.Uint64
+	bitFlips    atomic.Uint64
+	stuckWrites atomic.Uint64
+	// Scrub counters, written only under mu.Lock in Scrub.
+	scrubPasses       uint64
+	scrubScanned      uint64
+	scrubCorrupt      uint64
+	scrubRepaired     uint64
+	scrubRemapped     uint64
+	scrubUnrepairable uint64
 }
 
 // New creates a Device of the given kind with the given initial capacity in
@@ -141,6 +165,7 @@ func (d *Device) Grow(size int) {
 	if size <= len(d.data) {
 		return
 	}
+	oldLen := len(d.data)
 	nd := make([]byte, size)
 	copy(nd, d.data)
 	d.data = nd
@@ -148,6 +173,18 @@ func (d *Device) Grow(size int) {
 		nw := make([]uint32, (size+LineSize-1)/LineSize)
 		copy(nw, d.wear)
 		d.wear = nw
+	}
+	if d.track.Load() {
+		nc := make([]uint32, len(d.wear))
+		copy(nc, d.lineCRC)
+		for line := len(d.lineCRC); line < len(nc); line++ {
+			nc[line] = zeroLineCRC
+		}
+		d.lineCRC = nc
+		// A partial final line gained zero padding; its checksum changes.
+		if oldLen%LineSize != 0 && oldLen/LineSize < len(nc) {
+			d.lineCRC[oldLen/LineSize] = d.lineChecksumLocked(oldLen / LineSize)
+		}
 	}
 }
 
@@ -188,6 +225,12 @@ func (d *Device) WriteAt(off int, p []byte) {
 			break
 		}
 		if cut == 0 {
+			// With a torn cut armed, the store in flight at the instant
+			// power failed persists a seeded subset of its cache lines
+			// (exactly one racing writer wins the tear).
+			if d.tornPending.CompareAndSwap(true, false) {
+				d.tearWrite(off, p)
+			}
 			panic(ErrPowerLost)
 		}
 		if d.powerCut.CompareAndSwap(cut, cut-1) {
@@ -199,11 +242,15 @@ func (d *Device) WriteAt(off int, p []byte) {
 		d.mu.RUnlock()
 		panic(fmt.Sprintf("nvbm: write [%d,%d) out of range (size %d)", off, off+len(p), d.Size()))
 	}
-	copy(d.data[off:], p)
-	if d.kind == NVBM && len(p) > 0 {
-		for line := off / LineSize; line <= (off+len(p)-1)/LineSize; line++ {
-			if line < len(d.wear) {
-				atomic.AddUint32(&d.wear[line], 1)
+	if d.kind == NVBM && len(p) > 0 && (d.wearLimit.Load() > 0 || d.track.Load()) {
+		d.writeLinesLocked(off, p)
+	} else {
+		copy(d.data[off:], p)
+		if d.kind == NVBM && len(p) > 0 {
+			for line := off / LineSize; line <= (off+len(p)-1)/LineSize; line++ {
+				if line < len(d.wear) {
+					atomic.AddUint32(&d.wear[line], 1)
+				}
 			}
 		}
 	}
@@ -265,8 +312,12 @@ func (d *Device) CutPowerAfter(n int) {
 	d.powerCut.Store(int64(n))
 }
 
-// RestorePower disarms a power cut; subsequent writes land normally.
-func (d *Device) RestorePower() { d.powerCut.Store(-1) }
+// RestorePower disarms a power cut (torn or clean); subsequent writes
+// land normally.
+func (d *Device) RestorePower() {
+	d.tornPending.Store(false)
+	d.powerCut.Store(-1)
+}
 
 // PowerLost reports whether the device is currently dropping writes.
 func (d *Device) PowerLost() bool { return d.powerCut.Load() == 0 }

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // Image file format:
@@ -76,6 +77,9 @@ func (d *Device) RestoreFrom(r io.Reader) error {
 		return fmt.Errorf("nvbm: reading image size: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(sz[:])
+	if n > maxImageBytes {
+		return fmt.Errorf("nvbm: image size %d exceeds limit %d", n, uint64(maxImageBytes))
+	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(br, data); err != nil {
 		return fmt.Errorf("nvbm: reading image data: %w", err)
@@ -87,6 +91,9 @@ func (d *Device) RestoreFrom(r io.Reader) error {
 	if got, want := crc32.ChecksumIEEE(data), binary.LittleEndian.Uint32(crcb[:]); got != want {
 		return fmt.Errorf("nvbm: image checksum mismatch: got %#x want %#x", got, want)
 	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("nvbm: trailing data after image checksum")
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.data = data
@@ -95,8 +102,18 @@ func (d *Device) RestoreFrom(r io.Reader) error {
 		copy(wear, d.wear)
 		d.wear = wear
 	}
+	if d.track.Load() {
+		d.lineCRC = make([]uint32, len(d.wear))
+		for line := range d.lineCRC {
+			d.lineCRC[line] = d.lineChecksumLocked(line)
+		}
+	}
 	return nil
 }
+
+// maxImageBytes bounds the size field of an image so a corrupt or hostile
+// header cannot drive a multi-exabyte allocation.
+const maxImageBytes = 1 << 31
 
 // PersistFile writes the device image to path atomically (via a temp file
 // and rename), the way a careful NVDIMM flush daemon would.
@@ -139,16 +156,89 @@ func OpenFile(path string) (*Device, error) {
 }
 
 // Clone returns an independent copy of the device's current contents with
-// fresh statistics. It is used by the replica subsystem to model a remote
-// copy of a persistent region; the byte transfer is charged to the network
-// model by the caller, not to memory latency here.
+// fresh access statistics. It is used by the replica subsystem to model a
+// remote copy of a persistent region; the byte transfer is charged to the
+// network model by the caller, not to memory latency here. Wear history,
+// the media-tracking CRC shadow, the wear limit, and the spare-line pool
+// carry over — after a failover the clone IS the device, and endurance
+// analysis must not silently restart from zero.
 func (d *Device) Clone() *Device {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	nd := New(d.kind, len(d.data))
 	copy(nd.data, d.data)
 	nd.lat = d.lat
+	copy(nd.wear, d.wear)
+	if d.track.Load() {
+		nd.lineCRC = append([]uint32(nil), d.lineCRC...)
+		nd.track.Store(true)
+	}
+	nd.wearLimit.Store(d.wearLimit.Load())
+	nd.spare = d.spare
 	return nd
+}
+
+// DiffLines returns the indices of all LineSize-aligned lines of d whose
+// contents differ from base, treating base as zero-extended when d is
+// larger. It is the delta computation for replica shipping; no latency is
+// charged (the primary's controller tracks dirty lines for free in this
+// model).
+func (d *Device) DiffLines(base *Device) []int {
+	a := d.Bytes()
+	b := base.Bytes()
+	var lines []int
+	for lo := 0; lo < len(a); lo += LineSize {
+		hi := min(lo+LineSize, len(a))
+		var ref []byte
+		if lo < len(b) {
+			ref = b[lo:min(hi, len(b))]
+		}
+		if !lineEqual(a[lo:hi], ref) {
+			lines = append(lines, lo/LineSize)
+		}
+	}
+	return lines
+}
+
+// lineEqual reports whether line contents a match ref, with ref
+// zero-extended to len(a).
+func lineEqual(a, ref []byte) bool {
+	for i := range a {
+		var r byte
+		if i < len(ref) {
+			r = ref[i]
+		}
+		if a[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyLines copies the given lines from src into d, growing d to src's
+// size first. It models a replica applying a received delta frame: wear is
+// bumped for each applied line (the replica's cells absorb the stores) and
+// the CRC shadow is refreshed, but no latency is charged — the network
+// model prices the transfer.
+func (d *Device) ApplyLines(src *Device, lines []int) {
+	b := src.Bytes()
+	d.Grow(len(b))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, line := range lines {
+		lo := line * LineSize
+		hi := min(lo+LineSize, len(b))
+		if lo < 0 || lo >= hi || hi > len(d.data) {
+			continue
+		}
+		copy(d.data[lo:hi], b[lo:hi])
+		if line < len(d.wear) {
+			atomic.AddUint32(&d.wear[line], 1)
+		}
+		if d.track.Load() && line < len(d.lineCRC) {
+			atomic.StoreUint32(&d.lineCRC[line], d.lineChecksumLocked(line))
+		}
+	}
 }
 
 // Bytes returns a copy of the raw device contents. Intended for tests and

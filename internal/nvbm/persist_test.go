@@ -1,0 +1,105 @@
+package nvbm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestRestoreFromDamagedImages feeds RestoreFrom a catalogue of damaged
+// images — truncations at every structural boundary, a hostile size
+// field, bit flips in each section, trailing garbage — and requires every
+// one to be rejected with an error, never a panic or a silent partial
+// restore.
+func TestRestoreFromDamagedImages(t *testing.T) {
+	src := New(NVBM, 3*LineSize)
+	src.WriteAt(0, bytes.Repeat([]byte{0xD7}, 3*LineSize))
+	var buf bytes.Buffer
+	if err := src.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// Layout: magic[8] kind[1] size[8] data[size] crc[4].
+	const (
+		kindOff = 8
+		sizeOff = 9
+		dataOff = 17
+	)
+	crcOff := len(img) - 4
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), img...))
+	}
+	cases := []struct {
+		name string
+		img  []byte
+	}{
+		{"empty", nil},
+		{"magic truncated", img[:4]},
+		{"kind truncated", img[:kindOff]},
+		{"size truncated", img[:sizeOff+3]},
+		{"data truncated", img[:dataOff+LineSize]},
+		{"crc truncated", img[:crcOff+2]},
+		{"magic flipped", mutate(func(b []byte) []byte { b[0] ^= 0x01; return b })},
+		{"kind is DRAM", mutate(func(b []byte) []byte { b[kindOff] = byte(DRAM); return b })},
+		{"kind is garbage", mutate(func(b []byte) []byte { b[kindOff] = 0x7F; return b })},
+		{"size field hostile", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[sizeOff:], uint64(maxImageBytes)+1)
+			return b
+		})},
+		{"size exceeds data", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[sizeOff:], uint64(3*LineSize+999))
+			return b
+		})},
+		{"data bit flipped", mutate(func(b []byte) []byte { b[dataOff+7] ^= 0x10; return b })},
+		{"crc bit flipped", mutate(func(b []byte) []byte { b[crcOff] ^= 0x80; return b })},
+		{"trailing data", append(append([]byte(nil), img...), 0xFF)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(NVBM, 0)
+			if err := d.RestoreFrom(bytes.NewReader(tc.img)); err == nil {
+				t.Fatalf("damaged image accepted")
+			}
+			// Rejection must not leave partial contents behind.
+			if d.Size() != 0 {
+				t.Errorf("rejected restore left %d bytes in the device", d.Size())
+			}
+		})
+	}
+
+	// The pristine image still round-trips (the mutations above copied).
+	d := New(NVBM, 0)
+	if err := d.RestoreFrom(bytes.NewReader(img)); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+	if !bytes.Equal(d.Bytes(), src.Bytes()) {
+		t.Error("restored contents differ from source")
+	}
+}
+
+// TestRestoreFromRebuildsCRCShadow pins that a tracked device recomputes
+// its media CRCs for the restored contents instead of keeping checksums
+// of the bytes it used to hold.
+func TestRestoreFromRebuildsCRCShadow(t *testing.T) {
+	src := New(NVBM, 2*LineSize)
+	src.WriteAt(0, bytes.Repeat([]byte{0x42}, 2*LineSize))
+	var buf bytes.Buffer
+	if err := src.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(NVBM, 2*LineSize)
+	d.EnableMediaTracking()
+	d.WriteAt(0, bytes.Repeat([]byte{0x99}, 2*LineSize)) // different contents
+	if err := d.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if bad := d.CorruptLines(); len(bad) != 0 {
+		t.Fatalf("restore left stale CRCs: corrupt lines %v", bad)
+	}
+	d.FlipBit(LineSize+5, 1)
+	if got := d.CorruptLines(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("CorruptLines after flip = %v, want [1]", got)
+	}
+}

@@ -80,6 +80,92 @@ func TestConcurrentDisjointWritersRacingGrow(t *testing.T) {
 	}
 }
 
+// TestConcurrentTornWritersRacingGrow arms a torn power cut under
+// line-disjoint concurrent writers with media tracking and a wear limit
+// active, while Grow extends the device — the full slow-path machinery
+// (per-line stores, CRC shadow, tear-on-cut) under the race detector.
+// Exactly the armed number of writes land whole; exactly one racing
+// writer tears; no line is ever half old, half new.
+func TestConcurrentTornWritersRacingGrow(t *testing.T) {
+	const (
+		workers  = 4
+		linesPer = 2
+		region   = linesPer * LineSize
+		attempts = 60
+		allowed  = 41
+	)
+	d := New(NVBM, workers*region)
+	d.EnableMediaTracking()
+	d.SetWearLimit(1 << 30) // slow path on, but nothing ever wears out
+	d.CutPowerAfterTorn(allowed, 99)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		landed int
+	)
+	wg.Add(workers + 1)
+	go func() {
+		defer wg.Done()
+		for size := workers * region; size <= 4*workers*region; size += region {
+			d.Grow(size)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w + 1)}, region)
+			for k := 0; k < attempts; k++ {
+				ok := func() (ok bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							if r != ErrPowerLost {
+								panic(r)
+							}
+						}
+					}()
+					d.WriteAt(w*region, buf)
+					return true
+				}()
+				mu.Lock()
+				if ok {
+					landed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if landed != allowed {
+		t.Fatalf("%d writes landed whole, want exactly %d", landed, allowed)
+	}
+	if fs := d.FaultStats(); fs.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want exactly 1 (one racing writer wins the tear)", fs.TornWrites)
+	}
+	// Line-granular tearing: every line of every region is uniformly one
+	// writer's byte or still zero.
+	b := d.Bytes()
+	for w := 0; w < workers; w++ {
+		for l := 0; l < linesPer; l++ {
+			lo := w*region + l*LineSize
+			first := b[lo]
+			if first != 0 && first != byte(w+1) {
+				t.Fatalf("region %d line %d holds foreign byte %#x", w, l, first)
+			}
+			for i := lo; i < lo+LineSize; i++ {
+				if b[i] != first {
+					t.Fatalf("region %d line %d is torn mid-line", w, l)
+				}
+			}
+		}
+	}
+	// The CRC shadow stayed consistent through writes, the tear, and Grow.
+	if bad := d.CorruptLines(); len(bad) != 0 {
+		t.Fatalf("CRC shadow inconsistent at lines %v", bad)
+	}
+}
+
 // TestConcurrentWritersPowerCut verifies the power-cut countdown under
 // concurrent writers: exactly n writes land before ErrPowerLost, with no
 // decrement lost to the load/store race the CAS loop replaced.

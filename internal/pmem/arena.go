@@ -342,6 +342,13 @@ func (a *Arena) Root(i int) uint64 {
 	return a.dev.ReadU64(rootTableOff + 8*i)
 }
 
+// SlotRange returns the device byte range [off, off+n) backing h's
+// payload, so media-integrity checks (per-line CRC validation) can be
+// scoped to exactly the bytes a version's octants occupy.
+func (a *Arena) SlotRange(h Handle) (off, n int) {
+	return a.slotOff(a.index(h)), a.slotSize
+}
+
 // DataOffset returns the device offset where slot payloads begin; bytes
 // below it are allocator metadata (header, roots, bitmap). Wear analyses
 // separate the two regions: metadata lines are structurally hot.

@@ -1,0 +1,70 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"pmoctree/internal/nvbm"
+)
+
+// Frame is one checksummed replica-delta message: the LineSize-granular
+// lines of the primary's persistent region that changed since the last
+// successful sync, plus a CRC-32 the receiver verifies before applying.
+// Only the modeled wire size travels through the network model; the
+// payload itself is applied locally after a successful Ship.
+type Frame struct {
+	Seq     uint64 // sync sequence number, detects stale frames
+	Lines   []int  // line indices, ascending
+	Payload []byte // len(Lines) * LineSize bytes, line contents in order
+	CRC     uint32 // CRC-32 (IEEE) over header + line list + payload
+}
+
+// frameHeaderBytes is the modeled fixed overhead of one frame on the
+// wire: magic+seq+count (16) and the trailing CRC (4), rounded up.
+const frameHeaderBytes = 24
+
+// buildFrame assembles the delta frame for the given lines of src.
+func buildFrame(src *nvbm.Device, lines []int, seq uint64) *Frame {
+	b := src.Bytes()
+	f := &Frame{Seq: seq, Lines: lines}
+	f.Payload = make([]byte, 0, len(lines)*nvbm.LineSize)
+	for _, line := range lines {
+		lo := line * nvbm.LineSize
+		hi := min(lo+nvbm.LineSize, len(b))
+		chunk := make([]byte, nvbm.LineSize)
+		if lo < hi {
+			copy(chunk, b[lo:hi])
+		}
+		f.Payload = append(f.Payload, chunk...)
+	}
+	f.Seal()
+	return f
+}
+
+// WireBytes returns the modeled on-wire size of the frame: header and
+// checksum, an 8-byte index per line, and the line contents.
+func (f *Frame) WireBytes() int {
+	return frameHeaderBytes + len(f.Lines)*8 + len(f.Payload)
+}
+
+// checksum covers the sequence number, the line list, and the payload, so
+// neither reordered indices nor damaged contents verify.
+func (f *Frame) checksum() uint32 {
+	h := crc32.NewIEEE()
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], f.Seq)
+	h.Write(u[:])
+	for _, line := range f.Lines {
+		binary.LittleEndian.PutUint64(u[:], uint64(line))
+		h.Write(u[:])
+	}
+	h.Write(f.Payload)
+	return h.Sum32()
+}
+
+// Seal stamps the frame's checksum.
+func (f *Frame) Seal() { f.CRC = f.checksum() }
+
+// Verify reports whether the frame's contents match its checksum — the
+// receiver-side integrity check before a delta is applied.
+func (f *Frame) Verify() bool { return f.CRC == f.checksum() }

@@ -1,0 +1,56 @@
+package recovery
+
+import (
+	"testing"
+
+	"pmoctree/internal/nvbm"
+)
+
+func TestFrameSealVerify(t *testing.T) {
+	src := nvbm.New(nvbm.NVBM, 3*nvbm.LineSize)
+	src.WriteAt(0, []byte("frame payload under test"))
+	f := buildFrame(src, []int{0, 2}, 7)
+	if !f.Verify() {
+		t.Fatal("freshly sealed frame does not verify")
+	}
+	if want := frameHeaderBytes + 2*8 + 2*nvbm.LineSize; f.WireBytes() != want {
+		t.Errorf("WireBytes = %d, want %d", f.WireBytes(), want)
+	}
+
+	f.Payload[5] ^= 0x40
+	if f.Verify() {
+		t.Error("damaged payload verifies")
+	}
+	f.Payload[5] ^= 0x40
+	if !f.Verify() {
+		t.Fatal("repaired payload should verify again")
+	}
+
+	f.Lines[0], f.Lines[1] = f.Lines[1], f.Lines[0]
+	if f.Verify() {
+		t.Error("reordered line indices verify")
+	}
+	f.Lines[0], f.Lines[1] = f.Lines[1], f.Lines[0]
+
+	f.Seq++
+	if f.Verify() {
+		t.Error("altered sequence number verifies")
+	}
+}
+
+// TestFramePartialTailLine: a device whose size is not line-aligned still
+// frames its final line, zero-padded to LineSize.
+func TestFramePartialTailLine(t *testing.T) {
+	src := nvbm.New(nvbm.NVBM, nvbm.LineSize+8)
+	src.WriteAt(nvbm.LineSize, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f := buildFrame(src, []int{1}, 1)
+	if len(f.Payload) != nvbm.LineSize {
+		t.Fatalf("payload = %d bytes, want a full padded line", len(f.Payload))
+	}
+	if f.Payload[0] != 1 || f.Payload[8] != 0 {
+		t.Error("tail line contents or padding wrong")
+	}
+	if !f.Verify() {
+		t.Error("padded frame does not verify")
+	}
+}

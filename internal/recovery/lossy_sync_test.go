@@ -1,0 +1,177 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pmoctree/internal/cluster"
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+)
+
+// TestSyncExcludesCorruptLines: bit-rot on the primary must never ship to
+// the replica — the rotted line is withheld from the delta frame, leaving
+// the replica's (older, intact) copy in place as the repair source.
+func TestSyncExcludesCorruptLines(t *testing.T) {
+	m := NewReplicaManager(2, 0, cluster.Gemini())
+	nv := nvbm.New(nvbm.NVBM, 4*nvbm.LineSize)
+	nv.EnableMediaTracking()
+	clean := bytes.Repeat([]byte{0xC3}, nvbm.LineSize)
+	nv.WriteAt(0, clean)
+	nv.WriteAt(nvbm.LineSize, clean)
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+
+	nv.FlipBit(5, 1) // rot line 0
+	nv.WriteAt(2*nvbm.LineSize, clean)
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+
+	img := m.ReplicaImage(0)
+	if img == nil {
+		t.Fatal("no replica image after sync")
+	}
+	got := img.Bytes()
+	if !bytes.Equal(got[:nvbm.LineSize], clean) {
+		t.Error("rotted line propagated into the replica")
+	}
+	if !bytes.Equal(got[2*nvbm.LineSize:3*nvbm.LineSize], clean) {
+		t.Error("clean new line did not ship")
+	}
+	if img.MediaTracking() && len(img.CorruptLines()) != 0 {
+		t.Errorf("replica reads corrupt at lines %v", img.CorruptLines())
+	}
+	// The withheld line heals on the primary (scrub from the replica) and
+	// the next sync converges the pair.
+	rep := nv.Scrub(func(off int, p []byte) bool {
+		b := img.Bytes()
+		if off+len(p) > len(b) {
+			return false
+		}
+		copy(p, b[off:off+len(p)])
+		return true
+	})
+	if rep.Repaired != 1 {
+		t.Fatalf("scrub repaired %d lines, want 1", rep.Repaired)
+	}
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := nv.DiffLines(m.ReplicaImage(0)); len(lines) != 0 {
+		t.Errorf("primary and replica diverge at lines %v after heal", lines)
+	}
+}
+
+// TestSyncDegradedModeAndRecovery: a dead link marks the replica degraded
+// in the report; once the link heals, one successful sync clears it.
+func TestSyncDegradedModeAndRecovery(t *testing.T) {
+	m := NewReplicaManager(2, 0, cluster.Gemini())
+	link := cluster.NewLossyNetwork(cluster.Gemini(), 0, 0, 3)
+	m.SetLink(link)
+	nv := nvbm.New(nvbm.NVBM, 2*nvbm.LineSize)
+	nv.WriteAt(0, bytes.Repeat([]byte{1}, nvbm.LineSize))
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+
+	link.DropProb = 1.0
+	nv.WriteAt(nvbm.LineSize, bytes.Repeat([]byte{2}, nvbm.LineSize))
+	err := m.Sync(0, nv)
+	if !errors.Is(err, cluster.ErrLinkFailure) {
+		t.Fatalf("err = %v, want ErrLinkFailure", err)
+	}
+	states := m.Report()
+	if len(states) != 1 {
+		t.Fatalf("report has %d entries, want 1", len(states))
+	}
+	st := states[0]
+	if !st.Degraded || st.FailedSyncs != 1 || st.SyncedSeq != 1 || st.CurrentSeq != 2 {
+		t.Errorf("state = %+v, want degraded with 1 failed sync", st)
+	}
+	// The replica kept its last commit-consistent contents.
+	if got := m.ReplicaImage(0).Bytes()[nvbm.LineSize]; got != 0 {
+		t.Error("failed sync mutated the replica")
+	}
+
+	link.DropProb = 0
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Report()[0]
+	if st.Degraded || st.FailedSyncs != 0 {
+		t.Errorf("state after heal = %+v, want clean", st)
+	}
+	if got := m.ReplicaImage(0).Bytes()[nvbm.LineSize]; got != 2 {
+		t.Error("healed sync did not deliver the missed line")
+	}
+}
+
+func TestReplicaImageLifecycle(t *testing.T) {
+	m := NewReplicaManager(2, 0, cluster.Gemini())
+	if m.ReplicaImage(0) != nil {
+		t.Error("image exists before any sync")
+	}
+	nv := nvbm.New(nvbm.NVBM, nvbm.LineSize)
+	nv.WriteAt(0, bytes.Repeat([]byte{9}, nvbm.LineSize))
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	img := m.ReplicaImage(0)
+	if img == nil || !bytes.Equal(img.Bytes(), nv.Bytes()) {
+		t.Error("image missing or diverged after sync")
+	}
+}
+
+// TestFailoverRestoreFromReplica walks the full lost-node chain under
+// media tracking: the primary's arena metadata rots beyond repair, local
+// restore fails, and the replica image — which inherited media tracking —
+// restores to the last synced committed version.
+func TestFailoverRestoreFromReplica(t *testing.T) {
+	m := NewReplicaManager(2, 0, cluster.Gemini())
+	nv := nvbm.New(nvbm.NVBM, 0)
+	nv.EnableMediaTracking()
+	mkCfg := func(dev *nvbm.Device) core.Config {
+		return core.Config{NVBMDevice: dev, RetainVersions: 2, VerifyRestore: true}
+	}
+	tree := core.Create(mkCfg(nv))
+	tree.RefineWhere(func(c morton.Code) bool { return c.Level() < 2 }, 2)
+	tree.Persist()
+	if err := m.Sync(0, nv); err != nil {
+		t.Fatal(err)
+	}
+	want := tree.LeafCount()
+	step := tree.CommittedStep()
+
+	nv.FlipBit(100_000, 0) // arena allocation bitmap: every local candidate dies
+	if _, _, err := core.RestoreWithReport(mkCfg(nv)); err == nil {
+		t.Fatal("local restore should fail with corrupt metadata")
+	}
+
+	img, moveNs, err := m.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moveNs <= 0 {
+		t.Error("replica move charged no time")
+	}
+	if !img.MediaTracking() {
+		t.Error("failover image lost media tracking")
+	}
+	restored, rep, err := core.RestoreWithReport(mkCfg(img))
+	if err != nil {
+		t.Fatalf("failover restore failed: %v", err)
+	}
+	if rep.ChosenStep != step || rep.Fallbacks != 0 {
+		t.Errorf("report = %+v, want the synced step %d with no fallback", rep, step)
+	}
+	if restored.LeafCount() != want {
+		t.Errorf("failover recovered %d leaves, want %d", restored.LeafCount(), want)
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

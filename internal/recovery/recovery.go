@@ -110,6 +110,8 @@ type Report struct {
 	// ReplicationOverheadNs is the modeled network time spent shipping
 	// deltas during the run (the price of enabling replication).
 	ReplicationOverheadNs float64
+	// ReplicatedBytes is the wire volume of the delivered delta frames.
+	ReplicatedBytes uint64
 	// Elements is the mesh size recovered.
 	Elements int
 	// StepResumed is the time step the recovered state corresponds to.
@@ -142,21 +144,26 @@ func runPM(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
 	dram := nvbm.New(nvbm.DRAM, 0)
 	tree := core.Create(core.Config{NVBMDevice: nv, DRAMDevice: dram})
 
-	var replica *nvbm.Device
-	var lastShipped uint64
+	// Replication maintains a persistent replica image on a peer node by
+	// shipping per-step delta frames; the image, the modeled network
+	// cost, and the shipped-byte count all describe the same transfer.
+	var mgr *ReplicaManager
+	if cfg.Replicate || !cfg.SameNode {
+		mgr = NewReplicaManager(2, 0, cfg.Net)
+	}
 	for s := 1; s < cfg.CrashStep; s++ {
 		sim.Step(tree, d, s, cfg.MaxLevel)
 		tree.SetFeatures(d.Feature(s + 1))
 		tree.Persist()
-		if cfg.Replicate || !cfg.SameNode {
-			// Ship the bytes written to NVBM since the last sync — the
-			// version delta — to the peer.
-			written := nv.Stats().WriteBytes
-			delta := written - lastShipped
-			lastShipped = written
-			rep.ReplicationOverheadNs += cfg.Net.Transfer(int(delta))
-			replica = nv.Clone()
+		if mgr != nil {
+			if err := mgr.Sync(0, nv); err != nil {
+				return rep, err
+			}
 		}
+	}
+	if mgr != nil {
+		rep.ReplicationOverheadNs = mgr.ShippedNs
+		rep.ReplicatedBytes = mgr.ShippedBytes
 	}
 	// Crash mid-step: the working version is partially built when power
 	// fails.
@@ -166,13 +173,13 @@ func runPM(cfg Config, d *sim.Droplet, rep Report) (Report, error) {
 	// Restart.
 	device := nv
 	if !cfg.SameNode {
-		if replica == nil {
-			return rep, fmt.Errorf("recovery: no replica available for lost-node recovery")
+		img, moveNs, err := mgr.Recover(0)
+		if err != nil {
+			return rep, fmt.Errorf("recovery: no replica available for lost-node recovery: %w", err)
 		}
 		// The replacement node pulls the replica image over the network.
-		moved := replica.Size()
-		rep.ReplicaMoveNs = cfg.Net.Transfer(moved)
-		device = replica
+		rep.ReplicaMoveNs = moveNs
+		device = img
 	}
 	m0 := float64(device.Stats().ModeledNs)
 	restored, err := core.Restore(core.Config{NVBMDevice: device, DRAMDevice: nvbm.New(nvbm.DRAM, 0)})

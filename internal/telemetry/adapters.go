@@ -38,5 +38,22 @@ func RegisterDevice(r *Registry, prefix string, d *nvbm.Device) {
 	if d.Kind() == nvbm.NVBM {
 		r.RegisterFunc(prefix+".wear_max", func() float64 { return float64(d.Wear().MaxWear) })
 		r.RegisterFunc(prefix+".wear_total", func() float64 { return float64(d.Wear().TotalWear) })
+		registerFaultGauges(r, prefix, d)
 	}
+}
+
+// registerFaultGauges publishes the fault-injection and self-healing
+// counters of an NVBM device. With no faults injected and no scrub runs
+// every gauge reads zero, so registration is unconditional.
+func registerFaultGauges(r *Registry, prefix string, d *nvbm.Device) {
+	r.RegisterFunc(prefix+".torn_writes", func() float64 { return float64(d.FaultStats().TornWrites) })
+	r.RegisterFunc(prefix+".torn_lines_dropped", func() float64 { return float64(d.FaultStats().TornLinesDropped) })
+	r.RegisterFunc(prefix+".bit_flips", func() float64 { return float64(d.FaultStats().BitFlips) })
+	r.RegisterFunc(prefix+".stuck_writes", func() float64 { return float64(d.FaultStats().StuckWrites) })
+	r.RegisterFunc(prefix+".scrub_passes", func() float64 { return float64(d.FaultStats().ScrubPasses) })
+	r.RegisterFunc(prefix+".scrub_corrupt", func() float64 { return float64(d.FaultStats().CorruptFound) })
+	r.RegisterFunc(prefix+".scrub_repaired", func() float64 { return float64(d.FaultStats().LinesRepaired) })
+	r.RegisterFunc(prefix+".scrub_remapped", func() float64 { return float64(d.FaultStats().LinesRemapped) })
+	r.RegisterFunc(prefix+".scrub_unrepairable", func() float64 { return float64(d.FaultStats().Unrepairable) })
+	r.RegisterFunc(prefix+".spare_lines", func() float64 { return float64(d.FaultStats().SparesLeft) })
 }

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"testing"
+
+	"pmoctree/internal/nvbm"
+)
+
+func TestRegisterDeviceFaultGauges(t *testing.T) {
+	d := nvbm.New(nvbm.NVBM, 2*nvbm.LineSize)
+	d.EnableMediaTracking()
+	d.SetSpareLines(4)
+	r := NewRegistry()
+	RegisterDevice(r, "nvbm", d)
+
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"nvbm.torn_writes", "nvbm.torn_lines_dropped", "nvbm.bit_flips",
+		"nvbm.stuck_writes", "nvbm.scrub_passes", "nvbm.scrub_corrupt",
+		"nvbm.scrub_repaired", "nvbm.scrub_remapped", "nvbm.scrub_unrepairable",
+		"nvbm.spare_lines",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q not registered", name)
+		}
+	}
+	if got := snap.Gauges["nvbm.spare_lines"]; got != 4 {
+		t.Errorf("spare_lines = %v, want 4", got)
+	}
+
+	// Gauges are live: injected rot and a scrub pass show up.
+	d.FlipBit(3, 1)
+	d.Scrub(nil)
+	snap = r.Snapshot()
+	if snap.Gauges["nvbm.bit_flips"] != 1 {
+		t.Errorf("bit_flips = %v, want 1", snap.Gauges["nvbm.bit_flips"])
+	}
+	if snap.Gauges["nvbm.scrub_passes"] != 1 || snap.Gauges["nvbm.scrub_corrupt"] != 1 {
+		t.Errorf("scrub gauges = passes %v corrupt %v, want 1/1",
+			snap.Gauges["nvbm.scrub_passes"], snap.Gauges["nvbm.scrub_corrupt"])
+	}
+
+	// DRAM devices publish no fault gauges.
+	r2 := NewRegistry()
+	RegisterDevice(r2, "dram", nvbm.New(nvbm.DRAM, 64))
+	if _, ok := r2.Snapshot().Gauges["dram.torn_writes"]; ok {
+		t.Error("DRAM device registered fault gauges")
+	}
+}
