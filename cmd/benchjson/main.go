@@ -1,16 +1,23 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // stable JSON document on stdout, so CI can archive benchmark runs
-// (BENCH_pr2.json) without a third-party parser. It understands the
-// standard benchmark line format:
+// (BENCH_pr2.json, BENCH_pr4.json) without a third-party parser. It
+// understands the standard benchmark line format:
 //
 //	BenchmarkSolveParallel-8   3   401203100 ns/op   262144 cells   4 workers
 //
 // plus the goos/goarch/cpu/pkg header lines, which become metadata.
+//
+// With -compare old.json new.json it instead acts as CI's regression
+// gate: benchmarks present in both documents are matched by name (the
+// -8 GOMAXPROCS suffix stripped, so runs from different machines
+// compare) and the command exits 1 if any ns/op regressed by more than
+// the -tolerance fraction (default 0.10).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -35,6 +42,26 @@ type Doc struct {
 }
 
 func main() {
+	comparePaths := flag.Bool("compare", false, "compare two benchjson documents (old.json new.json) instead of converting; exit 1 on ns/op regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op increase before -compare fails")
+	flag.Parse()
+
+	if *comparePaths {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	doc := Doc{Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -88,4 +115,84 @@ func parseLine(line string) (Result, bool) {
 		r.Metrics[f[i+1]] = v
 	}
 	return r, true
+}
+
+// baseName strips the -N GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkSolve-8" -> "BenchmarkSolve"), so documents recorded
+// on machines with different processor counts still match up.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare reports ns/op movement between two documents, returning true
+// when any shared benchmark got slower by more than tolerance. New or
+// vanished benchmarks are informational, never failures — a PR adding
+// benchmarks must not fail its own gate.
+func compare(w *os.File, oldPath, newPath string, tolerance float64) (regressed bool, err error) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldNs := map[string]float64{}
+	for _, r := range oldDoc.Results {
+		if v, ok := r.Metrics["ns/op"]; ok && v > 0 {
+			oldNs[baseName(r.Name)] = v
+		}
+	}
+	matched := 0
+	for _, r := range newDoc.Results {
+		name := baseName(r.Name)
+		newV, ok := r.Metrics["ns/op"]
+		if !ok || newV <= 0 {
+			continue
+		}
+		oldV, ok := oldNs[name]
+		if !ok {
+			fmt.Fprintf(w, "  new   %-40s %14.0f ns/op\n", name, newV)
+			continue
+		}
+		matched++
+		delete(oldNs, name)
+		ratio := newV / oldV
+		verdict := "ok    "
+		if ratio > 1+tolerance {
+			verdict = "SLOWER"
+			regressed = true
+		} else if ratio < 1-tolerance {
+			verdict = "faster"
+		}
+		fmt.Fprintf(w, "  %s %-40s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
+			verdict, name, oldV, newV, (ratio-1)*100)
+	}
+	for name, v := range oldNs {
+		fmt.Fprintf(w, "  gone  %-40s %14.0f ns/op\n", name, v)
+	}
+	if matched == 0 {
+		return false, fmt.Errorf("no benchmark appears in both %s and %s", oldPath, newPath)
+	}
+	if regressed {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% tolerance\n", tolerance*100)
+	}
+	return regressed, nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkSolveParallel-8   \t 3 \t 401203100 ns/op \t 262144 cells \t 4 workers")
@@ -23,5 +28,69 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parsed %q", line)
 		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSolve-8":         "BenchmarkSolve",
+		"BenchmarkSolve-16":        "BenchmarkSolve",
+		"BenchmarkSolve":           "BenchmarkSolve",
+		"BenchmarkPool/workers4-2": "BenchmarkPool/workers4",
+		"BenchmarkFig3Overlap":     "BenchmarkFig3Overlap",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeDoc(t *testing.T, path string, results []Result) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(Doc{Results: results}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func res(name string, ns float64) Result {
+	return Result{Name: name, Iters: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+
+	// Within tolerance (+5%), plus a new and a vanished benchmark: pass.
+	writeDoc(t, oldPath, []Result{res("BenchmarkA-8", 100), res("BenchmarkGone-8", 50)})
+	writeDoc(t, newPath, []Result{res("BenchmarkA-4", 105), res("BenchmarkNew-4", 10)})
+	regressed, err := compare(os.Stdout, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("+5% flagged as a regression at 10% tolerance")
+	}
+
+	// Beyond tolerance (+25%): fail.
+	writeDoc(t, newPath, []Result{res("BenchmarkA-4", 125)})
+	regressed, err = compare(os.Stdout, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("+25% not flagged as a regression at 10% tolerance")
+	}
+
+	// Disjoint benchmark sets: an error, not a silent pass.
+	writeDoc(t, newPath, []Result{res("BenchmarkUnrelated-4", 1)})
+	if _, err := compare(os.Stdout, oldPath, newPath, 0.10); err == nil {
+		t.Error("disjoint documents compared without error")
 	}
 }

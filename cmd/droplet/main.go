@@ -45,15 +45,17 @@ func main() {
 		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 		workers     = flag.Int("workers", 0, "worker-pool width for predicate/solve evaluation (0 = GOMAXPROCS); results are identical for any value")
 		chaosSeed   = flag.Int64("chaos", 0, "run the chaos soak with this fault-injection `seed` (nonzero) instead of a clean run")
+		cacheReads  = flag.Bool("cachecommitted", false, "let the decoded-octant cache skip device reads of committed octants (simulation state is identical; modeled NVBM read counts drop, so leave off when reproducing the paper's figures)")
 	)
 	flag.Parse()
 
 	if *chaosSeed != 0 {
 		rep, err := fault.Run(fault.ChaosConfig{
-			Seed:       *chaosSeed,
-			Steps:      *steps,
-			MaxLevel:   uint8(*maxLevel),
-			DRAMBudget: *budget,
+			Seed:                *chaosSeed,
+			Steps:               *steps,
+			MaxLevel:            uint8(*maxLevel),
+			DRAMBudget:          *budget,
+			CacheCommittedReads: *cacheReads,
 		})
 		fmt.Print(rep)
 		if err != nil {
@@ -68,8 +70,9 @@ func main() {
 
 	nv := pmoctree.NewNVBM()
 	tree := pmoctree.Create(pmoctree.Config{
-		NVBMDevice:        nv,
-		DRAMBudgetOctants: *budget,
+		NVBMDevice:          nv,
+		DRAMBudgetOctants:   *budget,
+		CacheCommittedReads: *cacheReads,
 	})
 
 	var obs *telemetry.Observer

@@ -59,5 +59,8 @@ func (t *Tree) Compact() (retired *nvbm.Device, err error) {
 	t.nv = newArena
 	t.committed = newRoot
 	t.cur = newRoot
+	// Every NVBM ref changed identity; drop all derived host-side state.
+	t.cacheInvalidateAll()
+	t.invalidateLeafIndex()
 	return retired, nil
 }

@@ -55,8 +55,9 @@ func (t *Tree) pushHistory() {
 }
 
 // markRetained marks the octants of ring versions young enough to be
-// covered by Config.RetainVersions, so GC keeps them restorable.
-func (t *Tree) markRetained(marked map[pmem.Handle]bool) {
+// covered by Config.RetainVersions, so GC keeps them restorable. marked
+// is the GC pass's reusable bitset (one bit per NVBM slot).
+func (t *Tree) markRetained(marked []uint64) {
 	k := t.cfg.RetainVersions
 	if k <= 0 {
 		return
@@ -74,25 +75,35 @@ func (t *Tree) markRetained(marked map[pmem.Handle]bool) {
 	}
 }
 
-// markGuarded marks reachable NVBM slots like mark, but tolerates stale
-// ring entries whose subtree was already partially reclaimed: freed or
-// out-of-range handles are skipped instead of panicking, and access
+// markGuarded marks reachable NVBM slots like markStack, but tolerates
+// stale ring entries whose subtree was already partially reclaimed: freed
+// or out-of-range handles are skipped instead of panicking, and access
 // statistics are not perturbed.
-func (t *Tree) markGuarded(r Ref, marked map[pmem.Handle]bool) {
+func (t *Tree) markGuarded(r Ref, marked []uint64) {
 	if r.IsNil() || r.InDRAM() {
 		return
 	}
-	h := r.Handle()
-	if marked[h] || !t.nv.Live(h) {
-		return
+	stack := append(t.markScratch[:0], r)
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r.IsNil() || r.InDRAM() {
+			continue
+		}
+		h := r.Handle()
+		idx := uint32(h - 1)
+		if marked[idx/64]&(1<<(idx%64)) != 0 || !t.nv.Live(h) {
+			continue
+		}
+		marked[idx/64] |= 1 << (idx % 64)
+		var o Octant
+		t.nv.Read(h, t.scratch[:])
+		o.decode(t.scratch[:])
+		for _, c := range o.Children {
+			stack = append(stack, c)
+		}
 	}
-	marked[h] = true
-	var o Octant
-	t.nv.Read(h, t.scratch[:])
-	o.decode(t.scratch[:])
-	for _, c := range o.Children {
-		t.markGuarded(c, marked)
-	}
+	t.markScratch = stack[:0]
 }
 
 // CommittedStep returns the step number of the last committed version.

@@ -133,8 +133,7 @@ func TestFallbackAfterMediaCorruption(t *testing.T) {
 	// Pick a V2-only octant whose cache lines are disjoint from every
 	// line V1's octants touch (slots are smaller than lines, so adjacent
 	// slots can share a line; collateral damage would reject V1 too).
-	v1Marks := map[pmem.Handle]bool{}
-	tr.markGuarded(Ref(tr.nv.Root(histAddrSlot(int(step1%histSlots)))), v1Marks)
+	v1Marks := markedHandles(tr, Ref(tr.nv.Root(histAddrSlot(int(step1%histSlots)))))
 	v1Lines := map[int]bool{}
 	for h := range v1Marks {
 		off, n := tr.nv.SlotRange(h)
@@ -143,8 +142,7 @@ func TestFallbackAfterMediaCorruption(t *testing.T) {
 		}
 	}
 	metaEnd := (tr.nv.DataOffset() - 1) / nvbm.LineSize
-	v2Marks := map[pmem.Handle]bool{}
-	tr.markGuarded(tr.CommittedRoot(), v2Marks)
+	v2Marks := markedHandles(tr, tr.CommittedRoot())
 	target, found := pmem.Nil, false
 	for h := range v2Marks {
 		if v1Marks[h] {
@@ -228,4 +226,21 @@ func TestRetainVersionsKeepsRingRestorable(t *testing.T) {
 	if run(0) {
 		t.Error("RetainVersions=0: superseded root survived GC; retention should be off")
 	}
+}
+
+// markedHandles runs markGuarded from root into a fresh bitset and
+// returns the marked handle set, for tests that reason about version
+// reachability.
+func markedHandles(tr *Tree, root Ref) map[pmem.Handle]bool {
+	bits := make([]uint64, (int(tr.nv.HighWater())+63)/64)
+	tr.markGuarded(root, bits)
+	set := map[pmem.Handle]bool{}
+	for wi, w := range bits {
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) != 0 {
+				set[pmem.Handle(wi*64+b+1)] = true
+			}
+		}
+	}
+	return set
 }

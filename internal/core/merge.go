@@ -137,6 +137,7 @@ func (t *Tree) moveToNVBMUnder(r, parent Ref, setParent bool) Ref {
 	}
 	t.writeOct(nr, &o)
 	t.dram.Free(r.Handle())
+	t.cacheDrop(r) // the DRAM handle is recycled by later allocations
 	return nr
 }
 
@@ -172,6 +173,9 @@ func (t *Tree) Persist() int {
 	t.committed = t.cur
 	t.committedStep = t.step
 	t.step++
+	// Commit is an epoch boundary for the decoded-octant cache: the merge
+	// recycled every DRAM handle and the version tags just changed meaning.
+	t.cacheInvalidateAll()
 	t.stats.Persists++
 	freed := 0
 	if t.stats.Persists%t.cfg.GCEvery == 0 {

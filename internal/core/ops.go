@@ -44,8 +44,37 @@ func (t *Tree) ForEachNode(fn func(r Ref, o *Octant) bool) {
 }
 
 // ForEachCommittedNode visits every octant of the committed version.
+//
+// The committed version is immutable and this walk is side-effect-free on
+// the tree — no access accounting, no decoded-cache fills, and a per-call
+// read buffer instead of the shared t.scratch — so multiple goroutines
+// may call it concurrently (device charge counters are atomic). That is
+// the ONLY concurrent entry point: every other Tree method, including the
+// working-version walks and all mutations, shares t.scratch and the
+// volatile access/cache state and remains single-threaded by contract.
 func (t *Tree) ForEachCommittedNode(fn func(r Ref, o *Octant) bool) {
-	t.walk(t.committed, fn)
+	t.walkRO(t.committed, fn)
+}
+
+// walkRO is the read-only, concurrency-safe form of walk: charged device
+// reads into a per-call buffer, no touch, no cache.
+func (t *Tree) walkRO(r Ref, fn func(Ref, *Octant) bool) bool {
+	if r.IsNil() {
+		return true
+	}
+	var buf [RecordSize]byte
+	var o Octant
+	t.arenaFor(r).Read(r.Handle(), buf[:])
+	o.decode(buf[:])
+	if !fn(r, &o) {
+		return false
+	}
+	for _, c := range o.Children {
+		if !c.IsNil() && !t.walkRO(c, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 func (t *Tree) walk(r Ref, fn func(Ref, *Octant) bool) bool {

@@ -61,6 +61,13 @@ type Config struct {
 	// can genuinely walk back to them after media damage. Default 0:
 	// superseded versions are reclaimed as the paper prescribes.
 	RetainVersions int
+	// CacheCommittedReads lets the decoded-octant cache elide the modeled
+	// device read on hits against committed-version NVBM octants, which
+	// are immutable under multi-version copy-on-write. Off by default —
+	// the default cache only skips the host-side decode, keeping every
+	// modeled access statistic (and the paper-figure reproductions)
+	// bit-identical — so pmbench fig* runs measure the paper's costs.
+	CacheCommittedReads bool
 
 	// NVBMDevice, when set, is the persistent region to use (e.g. one
 	// reopened after a crash). Otherwise a fresh device is created.
@@ -127,9 +134,32 @@ type Tree struct {
 	rng      *rand.Rand
 	depth    uint8 // max leaf level observed
 
+	// scratch is the shared encode buffer of the WRITE path (and of the
+	// guarded raw reads in recovery/compaction). Mutating operations are
+	// single-threaded by the Tree contract, so one buffer suffices; the
+	// READ path (readOct, the committed walk) uses per-call buffers so
+	// side-effect-free readers can run concurrently (see
+	// ForEachCommittedNode).
 	scratch [RecordSize]byte
 	stats   OpStats
 	tel     *telemetry.Tracer // nil when telemetry is off
+
+	// Octant fast path (cache.go, leafindex.go): the direct-mapped
+	// decoded-octant cache with its epoch stamp, the Z-order leaf index
+	// with its mutation-sequence stamp, and the fast-path counters.
+	cache         []cacheLine
+	cacheEpoch    uint64
+	mutSeq        uint64
+	leafSnap      []LeafEntry
+	leafSnapSeq   uint64
+	leafSnapOK    bool
+	leafCodesSnap []morton.Code
+	leafCodesOK   bool
+	fp            FastPathStats
+
+	// GC scratch (gc.go): the reusable mark bitset and explicit stack.
+	markBits    []uint64
+	markScratch []Ref
 
 	// peakDRAMUtil tracks the highest C0 utilization seen during the
 	// current step; lastPeakDRAMUtil holds the previous step's peak
@@ -204,6 +234,8 @@ func (t *Tree) Delete() {
 	t.access = map[morton.Code]uint64{}
 	t.depth = 0
 	t.lsub = 1
+	t.cacheInvalidateAll()
+	t.invalidateLeafIndex()
 }
 
 // SetFeatures installs the application feature functions used by
@@ -257,6 +289,14 @@ func (t *Tree) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".gc_freed", func() float64 { return float64(t.stats.GCFreed) })
 	r.RegisterFunc(prefix+".transforms", func() float64 { return float64(t.stats.Transforms) })
 	r.RegisterFunc(prefix+".step", func() float64 { return float64(t.step) })
+	// Fast-path counters live under fixed "core." names so dashboards
+	// find them regardless of the caller's prefix.
+	r.RegisterFunc("core.cache.hits", func() float64 { return float64(t.fp.CacheHits) })
+	r.RegisterFunc("core.cache.misses", func() float64 { return float64(t.fp.CacheMisses) })
+	r.RegisterFunc("core.cache.invalidations", func() float64 { return float64(t.fp.CacheInvalidations) })
+	r.RegisterFunc("core.cache.skipped_reads", func() float64 { return float64(t.fp.CacheSkippedReads) })
+	r.RegisterFunc("core.leafindex.rebuilds", func() float64 { return float64(t.fp.LeafIndexRebuilds) })
+	r.RegisterFunc("core.leafindex.reuses", func() float64 { return float64(t.fp.LeafIndexReuses) })
 	telemetry.RegisterDevice(r, prefix+".nvbm", t.cfg.NVBMDevice)
 	telemetry.RegisterDevice(r, prefix+".dram", t.cfg.DRAMDevice)
 }
@@ -288,30 +328,56 @@ func (t *Tree) arenaFor(r Ref) *pmem.Arena {
 	return t.nv
 }
 
-// readOct loads the octant at r and records a subtree access.
+// readOct loads the octant at r and records a subtree access. A decoded-
+// cache hit skips the host-side decode; in the default configuration the
+// charged device read still happens (same bytes, same modeled latency),
+// so cached and uncached runs produce identical device statistics. With
+// Config.CacheCommittedReads, hits on immutable committed-version NVBM
+// octants skip the device read as well.
 func (t *Tree) readOct(r Ref) Octant {
+	if line := t.cacheLineOf(r); line != nil {
+		t.fp.CacheHits++
+		if t.cfg.CacheCommittedReads && !r.InDRAM() && line.oct.Version < t.step {
+			t.fp.CacheSkippedReads++
+		} else {
+			var buf [RecordSize]byte
+			t.arenaFor(r).Read(r.Handle(), buf[:])
+		}
+		o := line.oct
+		t.touch(o.Code)
+		return o
+	}
+	t.fp.CacheMisses++
 	var o Octant
-	t.arenaFor(r).Read(r.Handle(), t.scratch[:])
-	o.decode(t.scratch[:])
+	var buf [RecordSize]byte
+	t.arenaFor(r).Read(r.Handle(), buf[:])
+	o.decode(buf[:])
+	t.cachePut(r, &o)
 	t.touch(o.Code)
 	return o
 }
 
-// writeOct stores o at r.
+// writeOct stores o at r and writes it through to the decoded cache.
 func (t *Tree) writeOct(r Ref, o *Octant) {
 	o.encode(t.scratch[:])
 	t.arenaFor(r).Write(r.Handle(), t.scratch[:])
+	t.cachePut(r, o)
+	t.noteMutation()
 	t.touch(o.Code)
 }
 
 // writeChildren stores only the children field of o at r (a partial write,
-// cheaper than rewriting the record).
+// cheaper than rewriting the record), patching the cached line if present.
 func (t *Tree) writeChildren(r Ref, o *Octant) {
 	var buf [32]byte
 	for i := 0; i < 8; i++ {
 		putU32(buf[4*i:], uint32(o.Children[i]))
 	}
 	t.arenaFor(r).WriteField(r.Handle(), offChildren, buf[:])
+	if line := t.cacheLineOf(r); line != nil {
+		line.oct.Children = o.Children
+	}
+	t.noteMutation()
 }
 
 // writeParentField stores only the parent field at r.
@@ -319,6 +385,10 @@ func (t *Tree) writeParentField(r Ref, parent Ref) {
 	var buf [4]byte
 	putU32(buf[:], uint32(parent))
 	t.arenaFor(r).WriteField(r.Handle(), offParent, buf[:])
+	if line := t.cacheLineOf(r); line != nil {
+		line.oct.Parent = parent
+	}
+	t.noteMutation()
 }
 
 // writeDataField stores only the data array at r.
@@ -328,6 +398,10 @@ func (t *Tree) writeDataField(r Ref, o *Octant) {
 		putU64(buf[8*i:], f64bits(o.Data[i]))
 	}
 	t.arenaFor(r).WriteField(r.Handle(), offData, buf[:])
+	if line := t.cacheLineOf(r); line != nil {
+		line.oct.Data = o.Data
+	}
+	t.noteMutation()
 }
 
 // writeFlagsField stores only the flags word at r.
@@ -335,6 +409,10 @@ func (t *Tree) writeFlagsField(r Ref, flags uint32) {
 	var buf [4]byte
 	putU32(buf[:], flags)
 	t.arenaFor(r).WriteField(r.Handle(), offFlags, buf[:])
+	if line := t.cacheLineOf(r); line != nil {
+		line.oct.Flags = flags
+	}
+	t.noteMutation()
 }
 
 // readVersion loads only the version word at r.
@@ -452,6 +530,8 @@ func (t *Tree) discard(r Ref, o *Octant) {
 	switch {
 	case r.InDRAM():
 		t.dram.Free(r.Handle())
+		t.cacheDrop(r)
+		t.noteMutation()
 	case o.Version == t.step:
 		t.writeFlagsField(r, o.Flags|FlagDeleted)
 		t.stats.Deferred++

@@ -21,6 +21,11 @@ type ChaosConfig struct {
 	MaxLevel   uint8 // refinement bound (default 4)
 	DRAMBudget int   // C0 budget in octants (default 4096)
 	Profile    Profile
+	// CacheCommittedReads forwards core.Config.CacheCommittedReads: the
+	// soak then runs with the decoded-octant cache eliding committed-read
+	// device traffic, proving cache coherence under crash/restore churn
+	// (the report digests are seed-deterministic either way).
+	CacheCommittedReads bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -112,12 +117,13 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 
 	mkConfig := func(dev *nvbm.Device) core.Config {
 		return core.Config{
-			NVBMDevice:        dev,
-			DRAMDevice:        nvbm.New(nvbm.DRAM, 0),
-			DRAMBudgetOctants: cfg.DRAMBudget,
-			Seed:              cfg.Seed,
-			RetainVersions:    2,
-			VerifyRestore:     true,
+			NVBMDevice:          dev,
+			DRAMDevice:          nvbm.New(nvbm.DRAM, 0),
+			DRAMBudgetOctants:   cfg.DRAMBudget,
+			Seed:                cfg.Seed,
+			RetainVersions:      2,
+			VerifyRestore:       true,
+			CacheCommittedReads: cfg.CacheCommittedReads,
 		}
 	}
 	tree := core.Create(mkConfig(nv))

@@ -23,6 +23,15 @@ import (
 	"pmoctree/internal/solver"
 )
 
+// Serial cutoffs for pool.RunMin. Advection is the expensive sweep —
+// every cell traces a characteristic and runs four graded-mesh samples —
+// so it parallelizes profitably on small meshes; the body-force and
+// gradient-correction loops are a handful of flops per cell.
+const (
+	minAdvect = 512
+	minAxpy   = 1 << 15
+)
+
 // State is the flow field on one mesh snapshot.
 type State struct {
 	Sys *solver.System
@@ -163,7 +172,7 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	st.advect(dt)
 
 	// 2. Gravity acts on the liquid phase.
-	st.pool.Run(n, func(lo, hi int) {
+	st.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			st.W[i] -= dt * st.Gravity * st.VOF[i]
 		}
@@ -176,7 +185,7 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	// grids). The assembled operator is the NEGATIVE Laplacian, so the
 	// right-hand side flips sign.
 	st.Sys.Divergence(st.U, st.V, st.W, st.div)
-	st.pool.Run(n, func(lo, hi int) {
+	st.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			st.div[i] /= -dt
 		}
@@ -190,7 +199,7 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	}
 	st.lastDt = dt
 	st.Sys.Gradient(st.P, st.gx, st.gy, st.gz)
-	st.pool.Run(n, func(lo, hi int) {
+	st.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			st.U[i] -= dt * st.gx[i]
 			st.V[i] -= dt * st.gy[i]
@@ -205,7 +214,7 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 // targets), so the sweep parallelizes with bit-identical results.
 func (st *State) advect(dt float64) {
 	n := st.Sys.N()
-	st.pool.Run(n, func(lo, hi int) {
+	st.pool.RunMin(n, minAdvect, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cx, cy, cz := st.Sys.Center(i)
 			bx := cx - dt*st.U[i]

@@ -31,7 +31,8 @@ import (
 const BlockSize = 1024
 
 // minParallel is the smallest index range worth scheduling on goroutines;
-// below it Run executes inline regardless of worker count.
+// below it Run executes inline regardless of worker count. Call sites with
+// heavier or lighter per-index work pick their own cutoff via RunMin.
 const minParallel = 2048
 
 // Clamp normalizes a worker-count request: n <= 0 (the "use the machine"
@@ -50,6 +51,11 @@ func Clamp(n int) int {
 type Pool struct {
 	workers int
 
+	// forceWidth, when nonzero, bypasses the GOMAXPROCS clamp in
+	// effective(). Test hook only: it lets scheduling/chunking paths be
+	// exercised (including under -race) on single-CPU machines.
+	forceWidth int
+
 	// Optional telemetry, attached by Instrument; all nil by default so
 	// uninstrumented Run calls skip the clock reads entirely.
 	runs    *telemetry.Counter
@@ -64,12 +70,32 @@ func New(workers int) *Pool {
 	return &Pool{workers: Clamp(workers)}
 }
 
-// Workers reports the scheduling width; the nil pool has one worker.
+// Workers reports the configured scheduling width; the nil pool has one
+// worker. This is the determinism-relevant width (reduction blocking is
+// independent of it anyway); the width actually scheduled is effective().
 func (p *Pool) Workers() int {
 	if p == nil || p.workers < 1 {
 		return 1
 	}
 	return p.workers
+}
+
+// effective returns the scheduling width actually used: the configured
+// width clamped to GOMAXPROCS. Oversubscribing a machine with more
+// goroutines than processors cannot make data-parallel loops faster —
+// it only adds scheduler churn and cursor contention — and the
+// determinism contract makes the clamp invisible in results: any worker
+// count produces bit-identical output, so scheduling width is free to
+// follow the hardware.
+func (p *Pool) effective() int {
+	if p != nil && p.forceWidth > 0 {
+		return p.forceWidth
+	}
+	w := p.Workers()
+	if maxp := runtime.GOMAXPROCS(0); w > maxp {
+		w = maxp
+	}
+	return w
 }
 
 // Instrument registers the pool's metrics under prefix in reg:
@@ -87,6 +113,7 @@ func (p *Pool) Instrument(reg *telemetry.Registry, prefix string) {
 	p.chunkNs = reg.Histogram(prefix + ".chunk_ns")
 	p.util = reg.Gauge(prefix + ".utilization")
 	reg.Gauge(prefix + ".workers").Set(float64(p.Workers()))
+	reg.Gauge(prefix + ".workers_effective").Set(float64(p.effective()))
 }
 
 // Run partitions [0, n) into contiguous chunks and invokes fn(lo, hi) for
@@ -95,20 +122,40 @@ func (p *Pool) Instrument(reg *telemetry.Registry, prefix string) {
 // through Sum/Dot, whose blocking is fixed). Run returns after every chunk
 // completes; a panic inside fn is re-raised on the calling goroutine.
 func (p *Pool) Run(n int, fn func(lo, hi int)) {
+	p.RunMin(n, minParallel, fn)
+}
+
+// RunMin is Run with a per-site serial cutoff: ranges shorter than minN
+// execute inline. Spawn-and-join overhead is fixed per Run while the work
+// scales with n x (per-index cost), so each call site should set minN to
+// roughly where the two cross — a few hundred indexes for expensive
+// bodies (octree advection), tens of thousands for three-flop axpy loops.
+func (p *Pool) RunMin(n, minN int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := p.Workers()
-	if w == 1 || n < minParallel {
+	w := p.effective()
+	if w == 1 || n < minN {
 		p.runInline(n, fn)
 		return
 	}
 	// Chunks are finer than workers so a straggler chunk cannot idle the
 	// rest of the pool; an atomic cursor hands them out.
-	chunk := (n + 4*w - 1) / (4 * w)
+	p.runChunked(n, w, (n+4*w-1)/(4*w), fn)
+}
+
+// runChunked schedules [0, n) in chunk-sized pieces over w workers. The
+// calling goroutine participates as one of the workers — the spawn count
+// is w-1 — so a "parallel" run never pays a goroutine handoff for work
+// the caller could have started immediately.
+func (p *Pool) runChunked(n, w, chunk int, fn func(lo, hi int)) {
 	nchunks := (n + chunk - 1) / chunk
 	if w > nchunks {
 		w = nchunks
+	}
+	if w <= 1 {
+		p.runInline(n, fn)
+		return
 	}
 	var (
 		cursor  atomic.Int64
@@ -122,41 +169,45 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 	if instrumented {
 		start = time.Now()
 	}
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicV == nil {
-						panicV = r
-					}
-					panicMu.Unlock()
+	worker := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicV == nil {
+					panicV = r
 				}
-			}()
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if instrumented {
-					t0 := time.Now()
-					fn(lo, hi)
-					d := time.Since(t0).Nanoseconds()
-					busyNs.Add(d)
-					p.chunkNs.Observe(uint64(d))
-					p.chunks.Inc()
-				} else {
-					fn(lo, hi)
-				}
+				panicMu.Unlock()
 			}
 		}()
+		for {
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if instrumented {
+				t0 := time.Now()
+				fn(lo, hi)
+				d := time.Since(t0).Nanoseconds()
+				busyNs.Add(d)
+				p.chunkNs.Observe(uint64(d))
+				p.chunks.Inc()
+			} else {
+				fn(lo, hi)
+			}
+		}
 	}
+	wg.Add(w - 1)
+	for g := 0; g < w-1; g++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
 	wg.Wait()
 	if instrumented {
 		p.runs.Inc()
@@ -199,7 +250,7 @@ func (p *Pool) Dot(a, b []float64) float64 {
 	}
 	nb := (n + BlockSize - 1) / BlockSize
 	partials := make([]float64, nb)
-	p.Run(nb, func(lo, hi int) {
+	p.runBlocks(nb, func(lo, hi int) {
 		for blk := lo; blk < hi; blk++ {
 			i := blk * BlockSize
 			end := i + BlockSize
@@ -220,6 +271,23 @@ func (p *Pool) Dot(a, b []float64) float64 {
 	return acc
 }
 
+// runBlocks schedules nb reduction blocks with one contiguous chunk per
+// worker instead of Run's fine 4x-oversplit. Reduction blocks are uniform
+// (BlockSize multiply-adds each), so finer chunks buy no load balance and
+// only add cursor traffic; solver reductions run every CG iteration, so
+// the per-Run overhead matters more here than anywhere else.
+func (p *Pool) runBlocks(nb int, fn func(lo, hi int)) {
+	if nb <= 0 {
+		return
+	}
+	w := p.effective()
+	if w == 1 || nb < minParallel {
+		p.runInline(nb, fn)
+		return
+	}
+	p.runChunked(nb, w, (nb+w-1)/w, fn)
+}
+
 // Norm2 returns sqrt(Dot(a, a)) with the same determinism guarantee.
 func (p *Pool) Norm2(a []float64) float64 {
 	return math.Sqrt(p.Dot(a, a))
@@ -237,7 +305,7 @@ func (p *Pool) Sum(n int, term func(i int) float64) float64 {
 	}
 	nb := (n + BlockSize - 1) / BlockSize
 	partials := make([]float64, nb)
-	p.Run(nb, func(lo, hi int) {
+	p.runBlocks(nb, func(lo, hi int) {
 		for blk := lo; blk < hi; blk++ {
 			i := blk * BlockSize
 			end := i + BlockSize

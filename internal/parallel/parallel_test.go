@@ -133,3 +133,151 @@ func TestInstrument(t *testing.T) {
 	nilPool.Instrument(reg, "x")
 	p.Instrument(nil, "y")
 }
+
+// TestEffectiveClampsToGOMAXPROCS pins the scheduling-width rule: a pool
+// may be configured wider than the machine, but it never schedules more
+// goroutines than processors (oversubscription only adds churn, and
+// determinism makes the clamp invisible in results).
+func TestEffectiveClampsToGOMAXPROCS(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	if got := New(64 * maxp).effective(); got != maxp {
+		t.Fatalf("effective() = %d, want GOMAXPROCS %d", got, maxp)
+	}
+	if got := New(1).effective(); got != 1 {
+		t.Fatalf("effective() = %d, want 1", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.effective(); got != 1 {
+		t.Fatalf("nil pool effective() = %d, want 1", got)
+	}
+}
+
+// TestForceWidthChunking drives the chunked scheduling path regardless of
+// the machine's CPU count (the forceWidth hook bypasses the GOMAXPROCS
+// clamp), checking exact index coverage and that the range was actually
+// split. Run with -race: worker goroutines and the participating caller
+// share the cursor and the panic slot.
+func TestForceWidthChunking(t *testing.T) {
+	for _, width := range []int{2, 4, 7} {
+		p := New(width)
+		p.forceWidth = width
+		n := 3*minParallel + 17
+		seen := make([]int32, n)
+		var calls atomic.Int32
+		p.Run(n, func(lo, hi int) {
+			calls.Add(1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("width=%d: index %d visited %d times", width, i, c)
+			}
+		}
+		if calls.Load() < 2 {
+			t.Fatalf("width=%d: %d chunks, want the range split", width, calls.Load())
+		}
+	}
+}
+
+// TestForceWidthPanicPropagates exercises the chunked path's panic
+// collection, including a panic raised on the calling goroutine itself
+// (the caller participates as a worker).
+func TestForceWidthPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p := New(4)
+	p.forceWidth = 4
+	p.Run(minParallel*4, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+// TestRunMinCutoff checks the per-site serial cutoff: below minN the
+// range runs inline as one chunk even on a forced-wide pool; at minN it
+// is scheduled in chunks.
+func TestRunMinCutoff(t *testing.T) {
+	p := New(4)
+	p.forceWidth = 4
+	var calls atomic.Int32
+	p.RunMin(999, 1000, func(lo, hi int) {
+		calls.Add(1)
+		if lo != 0 || hi != 999 {
+			t.Fatalf("sub-cutoff chunk [%d,%d), want [0,999)", lo, hi)
+		}
+	})
+	if calls.Load() != 1 {
+		t.Fatalf("sub-cutoff range ran in %d chunks, want 1", calls.Load())
+	}
+	calls.Store(0)
+	p.RunMin(1000, 1000, func(lo, hi int) { calls.Add(1) })
+	if calls.Load() < 2 {
+		t.Fatalf("at-cutoff range ran in %d chunks, want split", calls.Load())
+	}
+}
+
+// TestRunMinCoversEveryIndex is TestRunCoversEveryIndex for the RunMin
+// entry point with aggressive cutoffs.
+func TestRunMinCoversEveryIndex(t *testing.T) {
+	for _, minN := range []int{1, 64, 100000} {
+		for _, n := range []int{0, 1, 63, 64, 4097} {
+			p := New(3)
+			p.forceWidth = 3
+			seen := make([]int32, n)
+			p.RunMin(n, minN, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("minN=%d n=%d: index %d visited %d times", minN, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// poolWorkload is a stencil-weight synthetic body (a few dozen flops per
+// index) at the fluid/solver sweep sizes of the PR 2 benchmarks.
+func poolWorkload(out []float64) func(lo, hi int) {
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := float64(i%1024) * 1e-3
+			acc := 0.0
+			for k := 0; k < 24; k++ {
+				acc += x * float64(k+1)
+				x = x*0.99 + 1e-6
+			}
+			out[i] = acc
+		}
+	}
+}
+
+// BenchmarkPoolCrossover is the regression guard for the PR 2 finding
+// that -workers 4 was SLOWER than serial: with the GOMAXPROCS clamp,
+// serial cutoffs and caller participation, a 4-worker pool must be at
+// least as fast as the serial pool on the same sweep. Compare the
+// serial/workers4 sub-benchmarks.
+func BenchmarkPoolCrossover(b *testing.B) {
+	const n = 200_000
+	out := make([]float64, n)
+	b.Run("serial", func(b *testing.B) {
+		var p *Pool
+		for i := 0; i < b.N; i++ {
+			p.Run(n, poolWorkload(out))
+		}
+	})
+	b.Run("workers4", func(b *testing.B) {
+		p := New(4)
+		for i := 0; i < b.N; i++ {
+			p.Run(n, poolWorkload(out))
+		}
+	})
+}

@@ -82,6 +82,15 @@ type Arena struct {
 	// trade a little locality for device lifetime.
 	wearLevel bool
 	fifoHead  int // consumed prefix of the free list in FIFO mode
+
+	// liveWords is a volatile mirror of the persistent allocation bitmap
+	// (64 slots per word), kept in lockstep by setBit. GC sweeps scan it
+	// word by word instead of probing the device per handle.
+	liveWords []uint64
+
+	// zeroBuf is the reusable zeroing buffer for Alloc. It is only ever
+	// passed to dev.WriteAt, which copies it, so it stays all-zero.
+	zeroBuf []byte
 }
 
 // NewArena formats dev as an empty arena with the given user slot size and
@@ -157,9 +166,11 @@ func OpenArena(dev *nvbm.Device) (*Arena, error) {
 	if n > 0 {
 		bm := make([]byte, (n+7)/8)
 		a.dev.ReadAt(headerSize, bm)
+		a.liveWords = make([]uint64, (n+63)/64)
 		for i := 0; i < n; i++ {
 			if bm[i/8]&(1<<(i%8)) != 0 {
 				a.live++
+				a.liveWords[i/64] |= 1 << (i % 64)
 			} else {
 				a.free = append(a.free, uint32(i))
 			}
@@ -179,7 +190,8 @@ func (a *Arena) slotOff(i uint32) int {
 	return a.slotsBase() + int(i)*a.stride
 }
 
-// setBit flips slot i's allocation bit (one byte read-modify-write).
+// setBit flips slot i's allocation bit (one byte read-modify-write) and
+// keeps the volatile liveWords mirror in lockstep.
 func (a *Arena) setBit(i uint32, on bool) {
 	off := headerSize + int(i/8)
 	var b [1]byte
@@ -190,6 +202,16 @@ func (a *Arena) setBit(i uint32, on bool) {
 		b[0] &^= 1 << (i % 8)
 	}
 	a.dev.WriteAt(off, b[:])
+	if wi := int(i / 64); wi >= len(a.liveWords) {
+		grown := make([]uint64, wi+1)
+		copy(grown, a.liveWords)
+		a.liveWords = grown
+	}
+	if on {
+		a.liveWords[i/64] |= 1 << (i % 64)
+	} else {
+		a.liveWords[i/64] &^= 1 << (i % 64)
+	}
 }
 
 // bit reads slot i's allocation bit.
@@ -207,7 +229,10 @@ func (a *Arena) SetWearLeveling(on bool) { a.wearLevel = on }
 // zeroed. It panics when the formatted capacity is exhausted.
 func (a *Arena) Alloc() Handle {
 	h := a.AllocRaw()
-	a.dev.WriteAt(a.slotOff(uint32(h-1)), make([]byte, a.slotSize))
+	if a.zeroBuf == nil {
+		a.zeroBuf = make([]byte, a.slotSize)
+	}
+	a.dev.WriteAt(a.slotOff(uint32(h-1)), a.zeroBuf)
 	return h
 }
 
@@ -366,6 +391,14 @@ func (a *Arena) HighWater() uint32 { return a.highWater }
 
 // Device returns the underlying memory device (for statistics).
 func (a *Arena) Device() *nvbm.Device { return a.dev }
+
+// LiveWords returns the volatile allocation-bitmap mirror, 64 slots per
+// uint64, bit i%64 of word i/64 set iff slot i is allocated. It is a
+// host-side view: reading it charges no device traffic (callers modeling
+// a persistent-bitmap scan account for it explicitly, e.g. via
+// Device().ChargeReadN). The slice is owned by the arena and mutated by
+// every Alloc/Free; callers must not modify or retain it.
+func (a *Arena) LiveWords() []uint64 { return a.liveWords }
 
 // SetBudget sets the slot capacity used for utilization tracking. Zero
 // disables tracking (utilization reports 0).

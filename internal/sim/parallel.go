@@ -59,19 +59,47 @@ func StepFieldPool(m Mesh, f Field, step int, maxLevel uint8, pool *parallel.Poo
 		// (SolverSweeps-1)/SolverSweeps of the level-set work.
 		solve = memoSolve(leafCodes(m), pool, f, step)
 	}
+	im, indexed := m.(indexedMesh)
 	for it := 0; it < SolverSweeps; it++ {
-		n := m.UpdateLeaves(solve)
+		var n int
+		if !serial && indexed {
+			// Z-order leaf index: the first sweep walks the tree once to
+			// materialize the leaves; in-place sweeps after it iterate the
+			// flat snapshot with no interior-node reads at all.
+			n = im.UpdateLeavesIndexed(solve)
+		} else {
+			n = m.UpdateLeaves(solve)
+		}
 		if it == 0 {
 			sc.Solved = n
 		}
 	}
-	sc.Leaves = m.LeafCount()
+	if !serial && indexed {
+		sc.Leaves = len(im.LeafCodesSnapshot())
+	} else {
+		sc.Leaves = m.LeafCount()
+	}
 	return sc
 }
 
-// leafCodes snapshots the mesh's current leaf codes (a charged read-only
-// traversal, like any other leaf walk).
+// indexedMesh is the optional fast-path contract a mesh may provide
+// (core.Tree does): a cached Z-order leaf snapshot and a leaf sweep
+// driven by it. Field results are bit-identical to the Mesh methods;
+// only the modeled device traffic differs, which the parallel driver
+// already does not preserve (see StepFieldPool's doc).
+type indexedMesh interface {
+	LeafCodesSnapshot() []morton.Code
+	UpdateLeavesIndexed(func(morton.Code, *[DataWords]float64) bool) int
+}
+
+// leafCodes snapshots the mesh's current leaf codes. Meshes with a leaf
+// index serve it from the cached Z-order snapshot (free when still
+// valid); otherwise this is a charged read-only traversal, like any
+// other leaf walk. Callers consume the slice before mutating the mesh.
 func leafCodes(m Mesh) []morton.Code {
+	if im, ok := m.(indexedMesh); ok {
+		return im.LeafCodesSnapshot()
+	}
 	codes := make([]morton.Code, 0, m.LeafCount())
 	m.ForEachLeaf(func(c morton.Code, _ [DataWords]float64) bool {
 		codes = append(codes, c)
@@ -85,17 +113,16 @@ func leafCodes(m Mesh) []morton.Code {
 func leafParents(m Mesh) []morton.Code {
 	var parents []morton.Code
 	seen := make(map[morton.Code]struct{})
-	m.ForEachLeaf(func(c morton.Code, _ [DataWords]float64) bool {
+	for _, c := range leafCodes(m) {
 		if c.Level() == 0 {
-			return true
+			continue
 		}
 		p := c.Parent()
 		if _, ok := seen[p]; !ok {
 			seen[p] = struct{}{}
 			parents = append(parents, p)
 		}
-		return true
-	})
+	}
 	return parents
 }
 

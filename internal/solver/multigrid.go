@@ -115,7 +115,7 @@ func (mg *Multigrid) smooth(k int, x, rhs, scratch []float64, sweeps int) {
 	s := mg.systems[k]
 	for it := 0; it < sweeps; it++ {
 		s.Apply(x, scratch)
-		mg.pool.Run(len(x), func(lo, hi int) {
+		mg.pool.RunMin(len(x), minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				x[i] += mg.Omega * (rhs[i] - scratch[i]) / s.diag[i]
 			}
@@ -142,7 +142,7 @@ func (mg *Multigrid) vcycle(k int, x, rhs []float64) {
 	coarse := mg.systems[k-1]
 	crhs := make([]float64, coarse.N())
 	kids := mg.children[k]
-	mg.pool.Run(coarse.N(), func(lo, hi int) {
+	mg.pool.RunMin(coarse.N(), minStencil, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			acc := 0.0
 			for _, i := range kids[j] {
@@ -156,7 +156,7 @@ func (mg *Multigrid) vcycle(k int, x, rhs []float64) {
 
 	// Prolongate (inject) and correct.
 	parent := mg.parent[k]
-	mg.pool.Run(len(x), func(lo, hi int) {
+	mg.pool.RunMin(len(x), minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] += ce[parent[i]]
 		}
@@ -179,7 +179,7 @@ func (mg *Multigrid) Solve(b []float64, x []float64, opt Options) (Result, error
 		opt.MaxIter = 100
 	}
 	rhs := make([]float64, n)
-	mg.pool.Run(n, func(lo, hi int) {
+	mg.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			rhs[i] = b[i] * e * e * e
@@ -197,7 +197,7 @@ func (mg *Multigrid) Solve(b []float64, x []float64, opt Options) (Result, error
 	r := make([]float64, n)
 	residual := func() float64 {
 		s.Apply(x, r)
-		mg.pool.Run(n, func(lo, hi int) {
+		mg.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				r[i] = rhs[i] - r[i]
 			}

@@ -26,7 +26,7 @@ func axisOf(di int) (axis int, sign float64) {
 // zero at walls (no-penetration boundaries).
 func (s *System) Divergence(u, v, w []float64, out []float64) {
 	comp := [3][]float64{u, v, w}
-	s.pool.Run(len(s.codes), func(lo, hi int) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			vol := e * e * e
@@ -54,7 +54,7 @@ func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 	// The accumulators live inside the chunk body: hoisting them to
 	// function scope (as an earlier revision did) would be a data race
 	// once the sweep runs on the pool.
-	s.pool.Run(len(s.codes), func(lo, hi int) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		var wsum [3]float64
 		var acc [3]float64
 		for i := lo; i < hi; i++ {
@@ -88,7 +88,7 @@ func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 // null space. This is the projection operator of incompressible flow with
 // no-penetration walls.
 func (s *System) ApplyNeumann(x, y []float64) {
-	s.pool.Run(len(s.codes), func(lo, hi int) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := 0.0
 			for _, f := range s.faces[i] {
@@ -118,7 +118,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 		opt.MaxIter = 10 * n
 	}
 	rhs := make([]float64, n)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			rhs[i] = b[i] * e * e * e
@@ -131,7 +131,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 	})
 	// Enforce compatibility exactly: remove the (tiny) incompatible
 	// component that floating point left behind.
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			rhs[i] -= rhsSum * (e * e * e) / volSum
@@ -140,7 +140,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 
 	// Neumann diagonal (wall terms excluded) for the Jacobi preconditioner.
 	diag := make([]float64, n)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for _, f := range s.faces[i] {
 				if f.neighbor >= 0 {
@@ -155,13 +155,13 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 
 	r := make([]float64, n)
 	s.ApplyNeumann(x, r)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			r[i] = rhs[i] - r[i]
 		}
 	})
 	z := make([]float64, n)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			z[i] = r[i] / diag[i]
 		}
@@ -194,13 +194,13 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 			break // numerical null-space contamination
 		}
 		alpha := rz / pap
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				x[i] += alpha * p[i]
 				r[i] -= alpha * ap[i]
 			}
 		})
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				z[i] = r[i] / diag[i]
 			}
@@ -208,7 +208,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 		rzNew := s.pool.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				p[i] = z[i] + beta*p[i]
 			}
@@ -219,7 +219,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 		e := s.codes[i].Extent()
 		return x[i] * e * e * e
 	}) / volSum
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] -= xm
 		}
@@ -235,7 +235,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 // exact discrete projection.
 func (s *System) ProjectedDivergence(u, v, w, p []float64, dt float64, out []float64) {
 	comp := [3][]float64{u, v, w}
-	s.pool.Run(len(s.codes), func(lo, hi int) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			vol := e * e * e

@@ -29,6 +29,17 @@ import (
 	"pmoctree/internal/parallel"
 )
 
+// Serial cutoffs for pool.RunMin (pr4: the PR 2 pool parallelized every
+// sweep unconditionally, and on small meshes the spawn-and-join overhead
+// made 4 workers slower than serial). Stencil sweeps (Apply, Divergence,
+// Gradient, restriction) chase face lists and do tens of flops per cell;
+// axpy-style vector updates do two or three, so they need a much larger
+// range before goroutines pay off.
+const (
+	minStencil = 4096
+	minAxpy    = 1 << 15
+)
+
 // face is one flux connection of a cell.
 type face struct {
 	neighbor int     // index of the adjacent cell, -1 for a wall
@@ -198,7 +209,7 @@ func (s *System) Codes() []morton.Code { return s.codes }
 // Dirichlet walls: (Ax)_i = sum_f T_f (x_i - x_j), wall x_j = 0. Rows are
 // independent, so the sweep parallelizes without changing any result bit.
 func (s *System) Apply(x, y []float64) {
-	s.pool.Run(len(s.codes), func(lo, hi int) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := s.diag[i] * x[i]
 			for _, f := range s.faces[i] {
@@ -244,7 +255,7 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 
 	// rhs_i = b_i * V_i (finite-volume integration).
 	rhs := make([]float64, n)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := s.codes[i].Extent()
 			rhs[i] = b[i] * e * e * e
@@ -253,14 +264,14 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 
 	r := make([]float64, n)
 	s.Apply(x, r)
-	s.pool.Run(n, func(lo, hi int) {
+	s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			r[i] = rhs[i] - r[i]
 		}
 	})
 	z := make([]float64, n)
 	precond := func() {
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				z[i] = r[i] / s.diag[i]
 			}
@@ -291,7 +302,7 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 		}
 		s.Apply(p, ap)
 		alpha := rz / s.pool.Dot(p, ap)
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				x[i] += alpha * p[i]
 				r[i] -= alpha * ap[i]
@@ -301,7 +312,7 @@ func (s *System) Solve(b []float64, x []float64, opt Options) (Result, error) {
 		rzNew := s.pool.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		s.pool.Run(n, func(lo, hi int) {
+		s.pool.RunMin(n, minAxpy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				p[i] = z[i] + beta*p[i]
 			}
