@@ -45,19 +45,28 @@ func main() {
 		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 		workers     = flag.Int("workers", 0, "worker-pool width for predicate/solve evaluation (0 = GOMAXPROCS); results are identical for any value")
 		chaosSeed   = flag.Int64("chaos", 0, "run the chaos soak with this fault-injection `seed` (nonzero) instead of a clean run")
+		retain      = flag.Int("retain", 0, "extra committed versions to retain in the fallback ring (0..2); gives cmd/pmserve -history older versions to serve")
+		chaosQuery  = flag.Int("chaosreaders", 0, "with -chaos: run this many concurrent MVCC snapshot readers against pinned versions during the soak")
 		cacheReads  = flag.Bool("cachecommitted", false, "let the decoded-octant cache skip device reads of committed octants (simulation state is identical; modeled NVBM read counts drop, so leave off when reproducing the paper's figures)")
 	)
 	flag.Parse()
 
 	if *chaosSeed != 0 {
+		var qs fault.QueryStats
 		rep, err := fault.Run(fault.ChaosConfig{
 			Seed:                *chaosSeed,
 			Steps:               *steps,
 			MaxLevel:            uint8(*maxLevel),
 			DRAMBudget:          *budget,
 			CacheCommittedReads: *cacheReads,
+			QueryReaders:        *chaosQuery,
+			QueryStats:          &qs,
 		})
 		fmt.Print(rep)
+		if *chaosQuery > 0 {
+			fmt.Printf("  queries: readers=%d batches=%d served=%d aborted=%d mismatches=%d catalog_rebinds=%d\n",
+				qs.Readers, qs.Batches, qs.Served, qs.Aborted, qs.Mismatches, qs.Generations)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "droplet: chaos run FAILED: %v\n", err)
 			os.Exit(1)
@@ -69,11 +78,17 @@ func main() {
 	pool := pmoctree.NewWorkerPool(*workers)
 
 	nv := pmoctree.NewNVBM()
-	tree := pmoctree.Create(pmoctree.Config{
+	cfg := pmoctree.Config{
 		NVBMDevice:          nv,
 		DRAMBudgetOctants:   *budget,
 		CacheCommittedReads: *cacheReads,
-	})
+		RetainVersions:      *retain,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
+		os.Exit(2)
+	}
+	tree := pmoctree.Create(cfg)
 
 	var obs *telemetry.Observer
 	if *tracePath != "" || *metricsPath != "" || *debugAddr != "" {

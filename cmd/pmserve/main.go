@@ -1,0 +1,193 @@
+// Command pmserve is the MVCC snapshot query server: it restores a
+// PM-octree from a persisted NVBM device image (cmd/droplet -image),
+// pins committed versions into an internal/serve catalog, and answers
+// point lookups, region queries, and field aggregations over HTTP —
+// optionally while a simulation writer keeps committing new steps in the
+// background.
+//
+// Modes:
+//
+//	pmserve -image run.img                       serve until interrupted
+//	pmserve -image run.img -simulate 10          keep simulating while serving
+//	pmserve -image run.img -script queries.json  batch mode: run scripted
+//	                                             queries, print one
+//	                                             "<status> <body>" line per
+//	                                             query, exit (CI smoke)
+//
+// With -history (the default), versions retained in the fallback ring
+// (cmd/droplet -retain) are published alongside the newest commit, so
+// clients can query several pinned steps of history.
+//
+// Endpoints are documented in internal/serve (http.go); /metrics dumps
+// the serve.* telemetry registry as JSON.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pmoctree"
+	"pmoctree/internal/serve"
+	"pmoctree/internal/telemetry"
+)
+
+func main() {
+	var (
+		image    = flag.String("image", "", "NVBM device image to restore and serve (required)")
+		addr     = flag.String("addr", "localhost:8077", "listen address for serve mode")
+		keep     = flag.Int("keep", 4, "committed versions to keep pinned in the catalog")
+		history  = flag.Bool("history", true, "also publish versions retained in the fallback ring")
+		workers  = flag.Int("workers", 0, "scheduler worker goroutines (0 = default)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = default); full queue answers 503 + Retry-After")
+		batch    = flag.Int("batch", 0, "requests drained per worker wakeup (0 = default)")
+		simulate = flag.Int("simulate", 0, "continue the droplet workload for this many steps, publishing every commit")
+		maxLevel = flag.Int("maxlevel", 5, "maximum refinement level for -simulate")
+		stepTime = flag.Duration("steptime", 500*time.Millisecond, "pause between -simulate steps in serve mode")
+		script   = flag.String("script", "", "batch mode: JSON array of request paths to run and print")
+	)
+	flag.Parse()
+	if *image == "" {
+		fmt.Fprintln(os.Stderr, "pmserve: -image is required (produce one with: droplet -image run.img)")
+		os.Exit(2)
+	}
+
+	dev, err := pmoctree.OpenDeviceFile(*image)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: opening image: %v\n", err)
+		os.Exit(1)
+	}
+	tree, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: dev, VerifyRestore: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: restoring tree: %v\n", err)
+		os.Exit(1)
+	}
+
+	reg := telemetry.NewRegistry()
+	cat := serve.NewCatalog(tree, serve.Config{Keep: *keep, Registry: reg})
+	sched := serve.NewScheduler(serve.SchedulerConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		BatchSize:  *batch,
+		Registry:   reg,
+	})
+	defer sched.Close()
+	defer cat.Close()
+
+	// Publish ring history oldest-first so the newest commit lands last.
+	if *history {
+		vs := tree.RetainedVersions()
+		for i := len(vs) - 1; i >= 0; i-- {
+			s, err := cat.PublishVersion(vs[i].Root, vs[i].Step)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmserve: ring version step %d: %v\n", vs[i].Step, err)
+				continue
+			}
+			s.Close()
+		}
+	}
+	s, err := cat.Publish()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: publishing committed version: %v\n", err)
+		os.Exit(1)
+	}
+	s.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(cat, sched))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+
+	if *script != "" {
+		// Batch mode: any -simulate steps run up front so output is
+		// deterministic, then the scripted queries replay over loopback.
+		runSimulation(tree, cat, *simulate, *maxLevel, 0)
+		if err := runScript(mux, *script); err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *simulate > 0 {
+		go runSimulation(tree, cat, *simulate, *maxLevel, *stepTime)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pmserve: serving %d version(s) of %s on http://%s (try /v1/versions)\n",
+		len(cat.Steps()), *image, ln.Addr())
+	if err := http.Serve(ln, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSimulation continues the droplet workload from the restored
+// committed step, publishing every new commit into the catalog. It is
+// the single writer; readers keep serving pinned versions concurrently.
+func runSimulation(tree *pmoctree.Tree, cat *serve.Catalog, steps, maxLevel int, pause time.Duration) {
+	if steps <= 0 {
+		return
+	}
+	start := int(tree.CommittedStep())
+	d := pmoctree.NewDroplet(pmoctree.DropletConfig{Steps: start + steps + 10})
+	tree.SetFeatures(pmoctree.WorkloadFeature(d, start+1))
+	for s := start + 1; s <= start+steps; s++ {
+		pmoctree.Step(tree, d, s, uint8(maxLevel))
+		tree.SetFeatures(pmoctree.WorkloadFeature(d, s+1))
+		tree.Persist()
+		if snap, err := cat.Publish(); err == nil {
+			snap.Close()
+		} else {
+			fmt.Fprintf(os.Stderr, "pmserve: publish step %d: %v\n", s, err)
+			return
+		}
+		time.Sleep(pause)
+	}
+}
+
+// runScript executes each request path from a JSON string array against
+// the handler over a loopback listener and prints one
+// "<status> <compact-json-body>" line per request.
+func runScript(h http.Handler, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var paths []string
+	if err := json.Unmarshal(raw, &paths); err != nil {
+		return fmt.Errorf("script %s: %w (want a JSON array of request paths)", path, err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	for _, p := range paths {
+		resp, err := http.Get(base + p)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", p, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", p, err)
+		}
+		fmt.Printf("%d %s\n", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}

@@ -26,6 +26,11 @@ func (t *Tree) Compact() (retired *nvbm.Device, err error) {
 	if t.cur.IsNil() {
 		return nil, fmt.Errorf("core: nothing to compact")
 	}
+	// Compaction replaces the arena wholesale; every outstanding snapshot
+	// pin would be left pointing into the retired region.
+	if n := t.PinnedVersions(); n > 0 {
+		return nil, fmt.Errorf("%w: %d pinned version(s) outstanding; close their snapshots first", ErrPinned, n)
+	}
 	newDev := nvbm.New(nvbm.NVBM, 0)
 	newArena := pmem.NewArena(newDev, RecordSize)
 

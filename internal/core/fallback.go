@@ -27,6 +27,23 @@ import (
 // fallback is guaranteed to have intact targets unless the media damage
 // spans every retained version.
 
+// MaxRetainVersions is the depth of the persistent fallback ring, and
+// therefore the largest admissible Config.RetainVersions: GC cannot keep a
+// superseded version restorable once its ring entry has been overwritten.
+const MaxRetainVersions = histSlots
+
+// RetainDepthError reports a Config.RetainVersions exceeding the fallback
+// ring depth. It used to be silently clamped; snapshot catalogs need the
+// honest answer to size their version windows.
+type RetainDepthError struct {
+	Requested int // the configured RetainVersions
+	Limit     int // MaxRetainVersions
+}
+
+func (e *RetainDepthError) Error() string {
+	return fmt.Sprintf("core: RetainVersions %d exceeds the fallback ring depth %d", e.Requested, e.Limit)
+}
+
 const (
 	// histSlots is the depth of the persistent fallback ring. With the
 	// committed version itself that bounds the recovery chain at
@@ -151,6 +168,9 @@ func RestoreWithReport(cfg Config) (t *Tree, rep RestoreReport, err error) {
 			t, err = nil, fmt.Errorf("core: restore panicked: %v", r)
 		}
 	}()
+	if err := cfg.Validate(); err != nil {
+		return nil, rep, err
+	}
 	cfg = cfg.withDefaults()
 	nv, err := pmem.OpenArena(cfg.NVBMDevice)
 	if err != nil {

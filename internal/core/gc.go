@@ -32,6 +32,7 @@ func (t *Tree) GC() int {
 		t.markStack(t.cur, marked)
 	}
 	t.markRetained(marked)
+	t.markPinned(marked)
 	hw := t.nv.HighWater()
 	// The sweep's per-handle bitmap probes, accounted in bulk: one 1-byte
 	// read per handle in [1, HighWater], exactly what Live(h) charged.

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/pmem"
+)
+
+// MVCC snapshot pinning. A committed PM-octree version is immutable —
+// commit is a single root-pointer store and COW never rewrites a committed
+// octant — so a committed root can be handed to reader goroutines as a
+// stable snapshot while the writer keeps refining, committing, collecting.
+// The only thing that could pull the rug out is GC (which reclaims octants
+// reachable solely from superseded versions) and Compact/Delete (which
+// replace the arena wholesale). Pins close that gap: GC treats every
+// pinned root as a retention root, and Compact refuses to run while pins
+// are outstanding.
+//
+// Threading contract: PinCommitted/PinVersion/RetainedVersions run on the
+// writer thread (they read writer-owned fields). VersionPin's Retain,
+// Release, Refs and all its read methods are safe from any goroutine, and
+// safe concurrently with the writer mutating the tree — reads go through
+// per-call buffers straight to the pinned arena, never through the shared
+// scratch, decoded cache, or access accounting.
+
+// ErrPinned is returned (wrapped) by operations that would invalidate
+// outstanding snapshot pins, such as Compact.
+var ErrPinned = fmt.Errorf("core: committed versions are pinned")
+
+// VersionPin holds one committed version alive for concurrent readers.
+// It is reference counted: the creating call owns one reference, Retain
+// adds one per additional holder, Release drops one. When the count hits
+// zero the pin unregisters itself and the next GC pass may reclaim any
+// octant reachable only from it.
+type VersionPin struct {
+	t    *Tree
+	nv   *pmem.Arena  // the arena the version lives in, captured at pin time
+	dev  *nvbm.Device // its device, for modeled read charging
+	root Ref
+	step uint64
+	refs atomic.Int64
+}
+
+// ensurePins lazily initializes the writer-side pin registry.
+func (t *Tree) ensurePins() {
+	if t.pins == nil {
+		t.pins = make(map[*VersionPin]struct{})
+	}
+}
+
+// PinCommitted pins the currently committed version V(i-1) and returns the
+// pin holding one reference. Writer thread only.
+func (t *Tree) PinCommitted() *VersionPin {
+	if t.committed.IsNil() || t.committed.InDRAM() {
+		panic("core: no committed NVBM version to pin")
+	}
+	return t.registerPin(t.committed, t.committedStep)
+}
+
+// PinVersion pins an arbitrary committed version, typically one of the
+// fallback-ring versions enumerated by RetainedVersions, so a server can
+// offer history older than the newest commit. The root must be a live
+// NVBM octant; deep validation is the caller's business (RetainedVersions
+// already performs it). Writer thread only.
+func (t *Tree) PinVersion(root Ref, step uint64) (*VersionPin, error) {
+	if root.IsNil() || root.InDRAM() || !t.nv.Live(root.Handle()) {
+		return nil, fmt.Errorf("core: version step %d root %v is not a live NVBM octant", step, root)
+	}
+	return t.registerPin(root, step), nil
+}
+
+func (t *Tree) registerPin(root Ref, step uint64) *VersionPin {
+	p := &VersionPin{t: t, nv: t.nv, dev: t.cfg.NVBMDevice, root: root, step: step}
+	p.refs.Store(1)
+	t.pinMu.Lock()
+	t.ensurePins()
+	t.pins[p] = struct{}{}
+	t.pinMu.Unlock()
+	return p
+}
+
+// markPinned marks the octants of every pinned version during GC so the
+// collector never reclaims a version a snapshot still reads. marked is the
+// GC pass's reusable bitset. Writer thread (GC) only; the registry lock
+// orders it against reader Releases.
+func (t *Tree) markPinned(marked []uint64) {
+	t.pinMu.Lock()
+	roots := make([]Ref, 0, len(t.pins))
+	for p := range t.pins {
+		if p.nv == t.nv { // pins on a retired arena (post-Compact) are dead weight
+			roots = append(roots, p.root)
+		}
+	}
+	t.pinMu.Unlock()
+	for _, r := range roots {
+		t.markGuarded(r, marked)
+	}
+}
+
+// PinnedVersions returns the number of currently registered pins. Safe
+// from any goroutine.
+func (t *Tree) PinnedVersions() int {
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
+	return len(t.pins)
+}
+
+// VersionInfo identifies one restorable committed version.
+type VersionInfo struct {
+	Root Ref
+	Step uint64
+}
+
+// RetainedVersions enumerates the fallback-ring versions that are still
+// deeply intact (every reachable octant live, CRC-clean, well-formed),
+// newest first, excluding the currently committed version. With
+// Config.RetainVersions = k these are the k superseded versions GC keeps
+// restorable; with retention off the ring usually points at reclaimed
+// slots and the result is empty. Writer thread only (deep verification
+// uses the shared scratch buffer).
+func (t *Tree) RetainedVersions() []VersionInfo {
+	var out []VersionInfo
+	for i := 0; i < histSlots; i++ {
+		root := Ref(t.nv.Root(histAddrSlot(i)))
+		step := t.nv.Root(histStepSlot(i))
+		if root.IsNil() || root.InDRAM() || root == t.committed {
+			continue
+		}
+		if t.candidateError(root, step, true) != nil {
+			continue
+		}
+		out = append(out, VersionInfo{Root: root, Step: step})
+	}
+	// Ring order is (step mod histSlots); restore newest-first step order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Step > out[j-1].Step; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Retain adds a reference and returns p for chaining. Panics if the pin
+// already dropped to zero — a released version may already be reclaimed.
+func (p *VersionPin) Retain() *VersionPin {
+	for {
+		n := p.refs.Load()
+		if n <= 0 {
+			panic("core: Retain on a fully released VersionPin")
+		}
+		if p.refs.CompareAndSwap(n, n+1) {
+			return p
+		}
+	}
+}
+
+// Release drops one reference. When the last reference goes, the pin
+// unregisters itself; the version stays readable until the writer's next
+// GC pass actually reclaims it, but callers must not rely on that.
+func (p *VersionPin) Release() {
+	n := p.refs.Add(-1)
+	if n < 0 {
+		panic("core: VersionPin released more often than retained")
+	}
+	if n == 0 {
+		t := p.t
+		t.pinMu.Lock()
+		delete(t.pins, p)
+		t.pinMu.Unlock()
+	}
+}
+
+// Refs returns the current reference count.
+func (p *VersionPin) Refs() int { return int(p.refs.Load()) }
+
+// Root returns the pinned version's root ref.
+func (p *VersionPin) Root() Ref { return p.root }
+
+// Step returns the pinned version's step number.
+func (p *VersionPin) Step() uint64 { return p.step }
+
+// readInto performs a charged, read-only octant load from the pinned
+// arena into a caller-provided buffer. The read-only guard: a pinned
+// version is NVBM-closed by the region invariant, so any DRAM ref reached
+// from it means the handle escaped into mutable working-version state.
+func (p *VersionPin) readInto(r Ref, buf []byte, o *Octant) {
+	if r.InDRAM() {
+		panic(fmt.Sprintf("core: pinned version step %d reached DRAM ref %v; snapshots are read-only over NVBM", p.step, r))
+	}
+	p.nv.Read(r.Handle(), buf)
+	o.decode(buf)
+}
+
+// ReadOctant loads one octant of the pinned version. Safe from any
+// goroutine.
+func (p *VersionPin) ReadOctant(r Ref) Octant {
+	var buf [RecordSize]byte
+	var o Octant
+	p.readInto(r, buf[:], &o)
+	return o
+}
+
+// ForEachNode visits every octant of the pinned version in Z-order
+// pre-order. Return false from fn to stop early. Safe from any goroutine;
+// the walk charges one device read per visited octant, exactly like the
+// single-threaded committed walk.
+func (p *VersionPin) ForEachNode(fn func(r Ref, o *Octant) bool) {
+	var buf [RecordSize]byte
+	p.walk(p.root, buf[:], fn)
+}
+
+func (p *VersionPin) walk(r Ref, buf []byte, fn func(Ref, *Octant) bool) bool {
+	if r.IsNil() {
+		return true
+	}
+	var o Octant
+	p.readInto(r, buf, &o)
+	if !fn(r, &o) {
+		return false
+	}
+	for _, c := range o.Children {
+		if !c.IsNil() && !p.walk(c, buf, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindLeaf descends to the deepest pinned-version octant containing code.
+// Safe from any goroutine.
+func (p *VersionPin) FindLeaf(code morton.Code) (Ref, Octant) {
+	var buf [RecordSize]byte
+	r := p.root
+	var o Octant
+	p.readInto(r, buf[:], &o)
+	level := code.Level()
+	for d := uint8(1); d <= level; d++ {
+		next := o.Children[code.AncestorAt(d).ChildIndex()]
+		if next.IsNil() {
+			return r, o
+		}
+		r = next
+		p.readInto(r, buf[:], &o)
+	}
+	return r, o
+}
+
+// ChargeReads accounts n modeled device reads of sz bytes each against the
+// pinned device, for read paths that answer from host-side indexes built
+// over the version (the serving layer's Morton leaf index) but semantically
+// consult persistent octants.
+func (p *VersionPin) ChargeReads(n, sz int) { p.dev.ChargeReadN(n, sz) }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/nvbm"
+)
+
+// pinLeafSet collects the pinned version's leaves through the pin's own
+// read-only walk.
+func pinLeafSet(p *VersionPin) map[morton.Code][DataWords]float64 {
+	set := map[morton.Code][DataWords]float64{}
+	p.ForEachNode(func(r Ref, o *Octant) bool {
+		if o.IsLeaf() {
+			set[o.Code] = o.Data
+		}
+		return true
+	})
+	return set
+}
+
+// TestRetainDepthTypedError pins the satellite fix: asking for more
+// retained versions than the fallback ring holds is a typed error, not a
+// silent clamp.
+func TestRetainDepthTypedError(t *testing.T) {
+	bad := Config{RetainVersions: MaxRetainVersions + 1}
+	var rde *RetainDepthError
+	if err := bad.Validate(); !errors.As(err, &rde) {
+		t.Fatalf("Validate = %v, want *RetainDepthError", err)
+	} else if rde.Requested != MaxRetainVersions+1 || rde.Limit != MaxRetainVersions {
+		t.Fatalf("RetainDepthError = %+v, want requested %d limit %d", rde, MaxRetainVersions+1, MaxRetainVersions)
+	}
+	if err := (Config{RetainVersions: MaxRetainVersions}).Validate(); err != nil {
+		t.Fatalf("Validate at the limit = %v, want nil", err)
+	}
+
+	// Create panics with the same typed error.
+	func() {
+		defer func() {
+			r := recover()
+			err, ok := r.(error)
+			if !ok || !errors.As(err, &rde) {
+				t.Fatalf("Create panic = %v, want *RetainDepthError", r)
+			}
+		}()
+		bad.NVBMDevice = nvbm.New(nvbm.NVBM, 0)
+		bad.DRAMDevice = nvbm.New(nvbm.DRAM, 0)
+		Create(bad)
+	}()
+
+	// Restore returns it.
+	dev := nvbm.New(nvbm.NVBM, 0)
+	Create(Config{NVBMDevice: dev, DRAMDevice: nvbm.New(nvbm.DRAM, 0)}).Persist()
+	_, _, err := RestoreWithReport(Config{
+		NVBMDevice:     dev,
+		DRAMDevice:     nvbm.New(nvbm.DRAM, 0),
+		RetainVersions: MaxRetainVersions + 2,
+	})
+	if !errors.As(err, &rde) {
+		t.Fatalf("RestoreWithReport = %v, want *RetainDepthError", err)
+	}
+}
+
+// TestPinSurvivesGC pins the MVCC contract: a pinned committed version
+// stays fully readable — bit-identical leaves — across churny commits and
+// GC passes that would otherwise reclaim it, and is reclaimed only after
+// its last reference is released.
+func TestPinSurvivesGC(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	tr := Create(Config{NVBMDevice: dev, DRAMDevice: nvbm.New(nvbm.DRAM, 0)})
+	tr.RefineWhere(sphere(0.4, 0.4, 0.4, 0.25, 0.15), 3)
+	tr.Persist()
+	want := leafSet(tr, tr.CommittedRoot())
+	pin := tr.PinCommitted()
+	second := pin.Retain()
+	oldRoot := pin.Root()
+
+	// Churn: replace essentially the whole tree across two commits, each
+	// running GC. Without the pin the old version's octants are reclaimed
+	// (that is exactly what TestRetainVersionsKeepsRingRestorable shows
+	// for RetainVersions=0).
+	tr.CoarsenWhere(func(c morton.Code) bool { return true })
+	tr.RefineWhere(sphere(0.7, 0.7, 0.7, 0.2, 0.1), 3)
+	tr.Persist()
+	tr.RefineWhere(sphere(0.2, 0.8, 0.5, 0.2, 0.1), 4)
+	tr.Persist()
+
+	if !tr.nv.Live(oldRoot.Handle()) {
+		t.Fatal("pinned version's root was reclaimed by GC")
+	}
+	got := pinLeafSet(pin)
+	sameLeaves(t, got, want, "pinned snapshot after churn")
+	if r, o := pin.FindLeaf(morton.Root); r != oldRoot || o.Code != morton.Root {
+		t.Fatalf("FindLeaf(root) = %v %v, want pin root", r, o.Code)
+	}
+
+	// One release keeps it pinned; the last one frees it for the next GC.
+	second.Release()
+	if tr.PinnedVersions() != 1 || pin.Refs() != 1 {
+		t.Fatalf("after one release: pins %d refs %d, want 1 1", tr.PinnedVersions(), pin.Refs())
+	}
+	tr.GC()
+	if !tr.nv.Live(oldRoot.Handle()) {
+		t.Fatal("version reclaimed while a reference remained")
+	}
+	pin.Release()
+	if tr.PinnedVersions() != 0 {
+		t.Fatalf("pins = %d after final release, want 0", tr.PinnedVersions())
+	}
+	tr.GC()
+	if tr.nv.Live(oldRoot.Handle()) {
+		t.Fatal("released version survived GC; retention leak")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactRefusesWhilePinned: compaction swaps the arena out from under
+// every snapshot, so it must refuse with ErrPinned until the last pin
+// closes.
+func TestCompactRefusesWhilePinned(t *testing.T) {
+	tr := Create(Config{})
+	tr.RefineWhere(sphere(0.5, 0.5, 0.5, 0.3, 0.2), 3)
+	tr.Persist()
+	pin := tr.PinCommitted()
+	if _, err := tr.Compact(); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Compact with a pin = %v, want ErrPinned", err)
+	}
+	pin.Release()
+	if _, err := tr.Compact(); err != nil {
+		t.Fatalf("Compact after release = %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetainedVersionsAndPinVersion: with retention on, the fallback ring
+// versions are enumerable newest-first and individually pinnable, giving a
+// server genuine history to serve.
+func TestRetainedVersionsAndPinVersion(t *testing.T) {
+	dev := nvbm.New(nvbm.NVBM, 0)
+	tr := Create(Config{
+		NVBMDevice:     dev,
+		DRAMDevice:     nvbm.New(nvbm.DRAM, 0),
+		RetainVersions: 2,
+	})
+	tr.RefineWhere(sphere(0.4, 0.4, 0.4, 0.25, 0.15), 3)
+	tr.Persist()
+	wantOld := leafSet(tr, tr.CommittedRoot())
+	oldStep := tr.CommittedStep()
+
+	tr.RefineWhere(sphere(0.6, 0.6, 0.6, 0.25, 0.15), 3)
+	tr.Persist()
+	tr.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+		d[0] = 3
+		return true
+	})
+	tr.Persist()
+
+	vs := tr.RetainedVersions()
+	if len(vs) != 2 {
+		t.Fatalf("RetainedVersions = %v, want 2 entries", vs)
+	}
+	if vs[0].Step <= vs[1].Step {
+		t.Fatalf("RetainedVersions not newest-first: %v", vs)
+	}
+	if vs[1].Step != oldStep {
+		t.Fatalf("oldest retained step = %d, want %d", vs[1].Step, oldStep)
+	}
+	pin, err := tr.PinVersion(vs[1].Root, vs[1].Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	sameLeaves(t, pinLeafSet(pin), wantOld, "pinned ring version")
+
+	if _, err := tr.PinVersion(NilRef, 99); err == nil {
+		t.Fatal("PinVersion accepted a nil root")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"pmoctree/internal/morton"
 	"pmoctree/internal/nvbm"
@@ -57,9 +58,12 @@ type Config struct {
 	// O(1) and torture tests rely on that cost.
 	VerifyRestore bool
 	// RetainVersions, when k > 0, makes GC keep the k newest superseded
-	// versions reachable (clamped to the fallback ring depth), so restore
-	// can genuinely walk back to them after media damage. Default 0:
-	// superseded versions are reclaimed as the paper prescribes.
+	// versions reachable, so restore can genuinely walk back to them after
+	// media damage and snapshot servers can pin them. The fallback ring
+	// holds at most MaxRetainVersions entries; asking for more is a
+	// configuration error (RetainDepthError) — Create panics with it,
+	// Restore returns it. Default 0: superseded versions are reclaimed as
+	// the paper prescribes.
 	RetainVersions int
 	// CacheCommittedReads lets the decoded-octant cache elide the modeled
 	// device read on hits against committed-version NVBM octants, which
@@ -74,6 +78,17 @@ type Config struct {
 	NVBMDevice *nvbm.Device
 	// DRAMDevice, when set, backs the C0 arena. Otherwise created.
 	DRAMDevice *nvbm.Device
+}
+
+// Validate reports configuration errors that defaulting cannot repair.
+// Today that is one case: RetainVersions deeper than the persistent
+// fallback ring, which used to be silently clamped — a snapshot catalog
+// sized to the request would then pin fewer versions than promised.
+func (c Config) Validate() error {
+	if c.RetainVersions > MaxRetainVersions {
+		return &RetainDepthError{Requested: c.RetainVersions, Limit: MaxRetainVersions}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -94,9 +109,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GCEvery <= 0 {
 		c.GCEvery = 1
-	}
-	if c.RetainVersions > histSlots {
-		c.RetainVersions = histSlots
 	}
 	if c.NVBMDevice == nil {
 		c.NVBMDevice = nvbm.New(nvbm.NVBM, 0)
@@ -161,6 +173,13 @@ type Tree struct {
 	markBits    []uint64
 	markScratch []Ref
 
+	// Snapshot pin registry (snapshot.go): committed versions held alive
+	// for concurrent readers. pinMu orders reader Releases against the
+	// writer's pin/GC/Compact passes; everything else on the Tree stays
+	// single-threaded by contract.
+	pinMu sync.Mutex
+	pins  map[*VersionPin]struct{}
+
 	// peakDRAMUtil tracks the highest C0 utilization seen during the
 	// current step; lastPeakDRAMUtil holds the previous step's peak
 	// (Persist rolls it over). The budget auto-tuner reads the latter:
@@ -184,7 +203,12 @@ type OpStats struct {
 
 // Create builds a new PM-octree holding one root octant, commits it as the
 // first persistent version, and returns the tree (pm_create, Table 1).
+// Create panics on an invalid Config (see Config.Validate); use Validate
+// first when the configuration is not statically known.
 func Create(cfg Config) *Tree {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
 	t := &Tree{
 		cfg:    cfg,
@@ -224,7 +248,10 @@ func Restore(cfg Config) (*Tree, error) {
 }
 
 // Delete drops all octants in both regions (pm_delete, Table 1). The
-// tree is unusable afterwards; create a fresh one to continue.
+// tree is unusable afterwards; create a fresh one to continue. Deleting
+// while snapshot pins are outstanding is a caller error: readers would
+// observe reformatted slots (reads stay memory-safe, results become
+// garbage).
 func (t *Tree) Delete() {
 	t.dram = pmem.NewArena(t.cfg.DRAMDevice, RecordSize)
 	t.nv = pmem.NewArena(t.cfg.NVBMDevice, RecordSize)

@@ -26,6 +26,17 @@ type ChaosConfig struct {
 	// device traffic, proving cache coherence under crash/restore churn
 	// (the report digests are seed-deterministic either way).
 	CacheCommittedReads bool
+	// QueryReaders, when positive, runs that many concurrent MVCC snapshot
+	// readers (internal/serve) against a catalog of pinned committed
+	// versions for the whole soak — querying while the writer steps,
+	// crashes, and recovers. Every batch double-reads one immutable
+	// snapshot and must see bit-identical results; a divergence fails the
+	// run. Reader timing perturbs arena layout (pin lifetimes change what
+	// GC can free), so reports are no longer bit-reproducible across runs
+	// when this is set.
+	QueryReaders int
+	// QueryStats, when non-nil, receives the query-side totals at run end.
+	QueryStats *QueryStats
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -130,6 +141,9 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 	d := sim.NewDroplet(sim.DropletConfig{Steps: cfg.Steps + 2})
 	tree.SetFeatures(d.Feature(1))
 
+	srv := startChaosServing(cfg.QueryReaders, tree)
+	defer srv.stop(cfg.QueryStats)
+
 	link := cluster.NewLossyNetwork(cluster.Gemini(), cfg.Profile.DropProb, cfg.Profile.CorruptProb, cfg.Seed+101)
 	mgr := recovery.NewReplicaManager(2, 0, cluster.Gemini())
 	mgr.SetLink(link)
@@ -150,6 +164,12 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 	// recoverTree runs the recovery chain after a crash (or a failed
 	// validation) at workload step s.
 	recoverTree := func(s int) error {
+		// Exclude reader batches for the whole recovery: the catalog is
+		// retired (draining every pin) before the tree is rebuilt, and
+		// scrub rewrites device bytes in place.
+		srv.lockFaults()
+		defer srv.unlockFaults()
+		srv.retire()
 		nv.RestorePower()
 		// Pre-restore scrub: when the replica mirrors the device's
 		// current committed version, heal media damage before validation
@@ -187,6 +207,7 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		}
 		tree = t
 		tree.SetFeatures(d.Feature(s + 1))
+		srv.rebind(tree)
 		return nil
 	}
 
@@ -230,6 +251,7 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		nv.RestorePower() // disarm an unspent countdown
 		rep.Committed++
 		addHistory(commitDigest(tree))
+		srv.publish()
 
 		if err := mgr.Sync(0, nv); err != nil {
 			rep.SyncFailures++
@@ -237,10 +259,14 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 			haveReplica = true
 			replicaStep = tree.CommittedStep()
 		}
+		// Rot and scrub mutate device bytes in place; exclude reader
+		// batches so a double pass never straddles a flip or a repair.
+		srv.lockFaults()
 		in.InjectRot(nv)
 		if haveReplica && replicaStep == tree.CommittedStep() {
 			accumulateScrub(&rep, scrubFromReplica(nv, mgr))
 		}
+		srv.unlockFaults()
 		if err := safeValidate(tree); err != nil {
 			rep.ValidateFailures++
 			if rerr := recoverTree(s); rerr != nil {
@@ -251,6 +277,10 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 	}
 	finalize(&rep, in, link, mgr, nv, tree)
 	rep.Digest = histHash.Sum64()
+	srv.stop(cfg.QueryStats)
+	if n := srv.mismatchCount(); n > 0 {
+		return rep, fmt.Errorf("snapshot immutability violated: %d double-pass mismatches on pinned versions", n)
+	}
 	return rep, nil
 }
 

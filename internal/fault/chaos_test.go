@@ -73,6 +73,45 @@ func TestChaosHarsh(t *testing.T) {
 	}
 }
 
+// TestChaosQueryReaders runs the soak with concurrent MVCC snapshot
+// readers (internal/serve) hammering pinned committed versions while the
+// writer crashes and recovers. The digest-history recovery assertion must
+// still hold, every double pass over a pinned snapshot must be
+// bit-identical, and a useful number of queries must actually have been
+// served through the chaos. Reports are not compared across runs here:
+// reader timing legitimately perturbs pin lifetimes and hence arena
+// layout (TestChaosReproducible covers the readers-off contract).
+func TestChaosQueryReaders(t *testing.T) {
+	seeds := []int64{3, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		var qs QueryStats
+		rep, err := Run(ChaosConfig{Seed: seed, Steps: 40, QueryReaders: 3, QueryStats: &qs})
+		if err != nil {
+			t.Fatalf("seed %d: recovery guarantee violated under query load: %v\n%s", seed, err, rep)
+		}
+		t.Logf("seed %d:\n%s  queries: %+v", seed, rep, qs)
+		if got, want := rep.Restores, rep.Crashes+rep.ValidateFailures; got != want {
+			t.Errorf("seed %d: restores=%d, want crashes+validate_failures=%d", seed, got, want)
+		}
+		if rep.Committed == 0 {
+			t.Errorf("seed %d: no step ever committed", seed)
+		}
+		if qs.Mismatches != 0 {
+			t.Errorf("seed %d: %d snapshot double-pass mismatches", seed, qs.Mismatches)
+		}
+		if qs.Served == 0 {
+			t.Errorf("seed %d: readers never served a query", seed)
+		}
+		if qs.Generations == 0 && rep.Crashes+rep.ValidateFailures > 0 {
+			t.Errorf("seed %d: writer recovered %d times but the catalog never rebound",
+				seed, rep.Crashes+rep.ValidateFailures)
+		}
+	}
+}
+
 // TestChaosReproducible pins the bit-reproducibility contract: two runs
 // with the same config produce identical reports, digest included.
 func TestChaosReproducible(t *testing.T) {

@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/serve"
+)
+
+// QueryStats is the query-side outcome of a chaos run with QueryReaders
+// enabled. Counts are totals across all reader goroutines.
+type QueryStats struct {
+	Readers     int
+	Batches     uint64 // reader batches attempted (acquire + double query pass)
+	Served      uint64 // individual queries that completed
+	Aborted     uint64 // batches killed by a fault (power cut mid-read, etc.)
+	Mismatches  uint64 // double-pass divergences on one immutable snapshot
+	Generations uint64 // catalog swaps after writer crash recovery
+}
+
+// chaosServing runs MVCC snapshot readers against the chaos writer. The
+// readers hammer a serve.Catalog of pinned committed versions while the
+// writer steps, crashes, and recovers; each batch acquires a snapshot and
+// runs the fixed query set twice, requiring bit-identical results — a
+// pinned version must be immutable no matter what the writer is doing.
+//
+// Fault injection that mutates device bytes in place (bit-rot, scrub
+// repair/remap) and the recovery swap are excluded from reader batches
+// via mu: readers hold it shared per batch, the writer exclusively per
+// fault window. Everything else — commits, GC, replica sync — runs truly
+// concurrently with the readers. A nil *chaosServing disables serving;
+// every method is nil-safe.
+type chaosServing struct {
+	readers int
+
+	// mu: reader batches (RLock) vs. in-place fault windows and catalog
+	// swaps (Lock).
+	mu  sync.RWMutex
+	cat *serve.Catalog
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	batches     atomic.Uint64
+	served      atomic.Uint64
+	aborted     atomic.Uint64
+	mismatches  atomic.Uint64
+	generations atomic.Uint64
+}
+
+// chaosQuery is one fixed probe; the set is identical for every batch so
+// double passes are comparable.
+type chaosQuery struct {
+	kind  string
+	pt    [3]float64
+	box   serve.Box
+	field int
+}
+
+var chaosQueries = []chaosQuery{
+	{kind: "point", pt: [3]float64{0.5, 0.5, 0.55}},
+	{kind: "point", pt: [3]float64{0.52, 0.48, 0.7}},
+	{kind: "point", pt: [3]float64{0.1, 0.9, 0.2}},
+	{kind: "point", pt: [3]float64{0.85, 0.15, 0.4}},
+	{kind: "region", box: serve.Box{Min: [3]float64{0.4, 0.4, 0.4}, Max: [3]float64{0.6, 0.6, 0.75}}},
+	{kind: "region", box: serve.Box{Min: [3]float64{0, 0, 0.8}, Max: [3]float64{1, 1, 1}}},
+	{kind: "region", box: serve.Box{Min: [3]float64{0.45, 0.45, 0.1}, Max: [3]float64{0.55, 0.55, 0.9}}},
+	{kind: "agg", field: 0, box: serve.Box{Min: [3]float64{0, 0, 0}, Max: [3]float64{1, 1, 1}}},
+	{kind: "agg", field: 1, box: serve.Box{Min: [3]float64{0.3, 0.3, 0.3}, Max: [3]float64{0.7, 0.7, 0.7}}},
+}
+
+// startChaosServing builds the catalog over the writer's tree, publishes
+// the initial committed version, and starts the readers. Returns nil when
+// readers is zero.
+func startChaosServing(readers int, tree *core.Tree) *chaosServing {
+	if readers <= 0 {
+		return nil
+	}
+	cs := &chaosServing{readers: readers, stopCh: make(chan struct{})}
+	cs.cat = serve.NewCatalog(tree, serve.Config{Keep: 3})
+	if s, err := cs.cat.Publish(); err == nil {
+		s.Close()
+	}
+	cs.wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		go cs.reader(i)
+	}
+	return cs
+}
+
+func (cs *chaosServing) reader(id int) {
+	defer cs.wg.Done()
+	pick := id
+	for {
+		select {
+		case <-cs.stopCh:
+			return
+		default:
+		}
+		if !cs.batch(&pick) {
+			// Nothing acquirable or a fault aborted the batch; back off so
+			// a powered-down device isn't spun on.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// batch acquires one pinned version and runs the query set twice,
+// requiring bit-identical results. Reports whether the batch completed.
+func (cs *chaosServing) batch(pick *int) (ok bool) {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	defer func() {
+		if r := recover(); r != nil {
+			// A fault (ErrPowerLost mid-read, a torn structure) killed the
+			// batch: legitimate under chaos, counted, never fatal.
+			cs.aborted.Add(1)
+			ok = false
+		}
+	}()
+	cs.batches.Add(1)
+	steps := cs.cat.Steps()
+	if len(steps) == 0 {
+		return false
+	}
+	snap, err := cs.cat.Acquire(steps[*pick%len(steps)])
+	*pick++
+	if err != nil {
+		return false // evicted under us, or catalog retired for recovery
+	}
+	defer snap.Close()
+	a := runChaosQueries(snap)
+	b := runChaosQueries(snap)
+	if !bytes.Equal(a, b) {
+		cs.mismatches.Add(1)
+		return false
+	}
+	cs.served.Add(uint64(2 * len(chaosQueries)))
+	return true
+}
+
+// runChaosQueries executes the fixed set against one snapshot and encodes
+// every result (or error string) as one JSON blob.
+func runChaosQueries(snap *serve.Snapshot) []byte {
+	results := make([]any, 0, len(chaosQueries))
+	for _, q := range chaosQueries {
+		var (
+			res any
+			err error
+		)
+		switch q.kind {
+		case "point":
+			res, err = snap.Point(q.pt[0], q.pt[1], q.pt[2])
+		case "region":
+			res, err = snap.Region(q.box)
+		default:
+			res, err = snap.Aggregate(q.field, q.box)
+		}
+		if err != nil {
+			results = append(results, err.Error())
+		} else {
+			results = append(results, res)
+		}
+	}
+	out, err := json.Marshal(results)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// lockFaults excludes reader batches while the caller mutates device
+// bytes in place or swaps the serving catalog.
+func (cs *chaosServing) lockFaults() {
+	if cs != nil {
+		cs.mu.Lock()
+	}
+}
+
+func (cs *chaosServing) unlockFaults() {
+	if cs != nil {
+		cs.mu.Unlock()
+	}
+}
+
+// retire closes the current catalog, draining every pin (no reader batch
+// is in flight: callers hold the fault lock). Writer thread only.
+func (cs *chaosServing) retire() {
+	if cs != nil {
+		cs.cat.Close()
+	}
+}
+
+// rebind builds a fresh catalog over the recovered tree and publishes its
+// committed version. Callers hold the fault lock. Writer thread only.
+func (cs *chaosServing) rebind(tree *core.Tree) {
+	if cs == nil {
+		return
+	}
+	cs.cat = serve.NewCatalog(tree, serve.Config{Keep: 3})
+	if s, err := cs.cat.Publish(); err == nil {
+		s.Close()
+	}
+	cs.generations.Add(1)
+}
+
+// publish pins the newest committed version. Writer thread only.
+func (cs *chaosServing) publish() {
+	if cs == nil {
+		return
+	}
+	if s, err := cs.cat.Publish(); err == nil {
+		s.Close()
+	}
+}
+
+// stop halts the readers, retires the catalog, and fills out (both may be
+// nil). Idempotent.
+func (cs *chaosServing) stop(out *QueryStats) {
+	if cs == nil {
+		return
+	}
+	cs.once.Do(func() {
+		close(cs.stopCh)
+		cs.wg.Wait()
+		cs.cat.Close()
+	})
+	if out != nil {
+		*out = QueryStats{
+			Readers:     cs.readers,
+			Batches:     cs.batches.Load(),
+			Served:      cs.served.Load(),
+			Aborted:     cs.aborted.Load(),
+			Mismatches:  cs.mismatches.Load(),
+			Generations: cs.generations.Load(),
+		}
+	}
+}
+
+// mismatchCount reports double-pass divergences so Run can fail the soak.
+func (cs *chaosServing) mismatchCount() uint64 {
+	if cs == nil {
+		return 0
+	}
+	return cs.mismatches.Load()
+}

@@ -64,10 +64,15 @@ const LineSize = 64
 // other and with Grow — accounting and wear counters are atomic, and
 // growth is serialized against in-flight accesses, so no access ever
 // observes a half-swapped backing array and no wear increment is lost.
-// Overlapping writes (or a write overlapping a read) race exactly like
-// raw memory: the data outcome is undefined, though the device structure
-// and its counters stay consistent. Callers that share ranges must
-// synchronize, just as they would for a []byte.
+// Reads may additionally OVERLAP other reads freely: a read mutates
+// nothing but atomic counters, so any number of goroutines may issue
+// charged reads (ReadAt, ChargeReadN) against the same committed lines —
+// the MVCC serving layer's snapshot readers do exactly that while the
+// simulation writer keeps writing other lines. Overlapping writes (or a
+// write overlapping a read) race exactly like raw memory: the data
+// outcome is undefined, though the device structure and its counters stay
+// consistent. Callers that share mutable ranges must synchronize, just as
+// they would for a []byte.
 type Device struct {
 	kind Kind
 	lat  Latency

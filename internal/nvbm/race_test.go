@@ -223,3 +223,69 @@ func TestConcurrentWritersPowerCut(t *testing.T) {
 		t.Fatal("device should report power lost")
 	}
 }
+
+// TestConcurrentCommittedReadersRacingWriter exercises the read side of
+// the contract that MVCC snapshot serving relies on: many goroutines
+// issue charged reads against the SAME committed (immutable) lines —
+// plus bulk ChargeReadN accounting — while a single writer keeps writing
+// OTHER lines and Grow extends the device. The committed data must read
+// back bit-identical every time and the read accounting must be exact.
+// Run with -race.
+func TestConcurrentCommittedReadersRacingWriter(t *testing.T) {
+	const (
+		readers     = 4
+		readsEach   = 300
+		chargesEach = 100
+		region      = 4 * LineSize
+		initialSize = 2 * region
+	)
+	d := New(NVBM, initialSize)
+	committed := bytes.Repeat([]byte{0xA5}, region)
+	d.WriteAt(0, committed)
+	base := d.Stats()
+
+	var wg sync.WaitGroup
+	wg.Add(readers + 1)
+	// Writer: mutates the second region and grows the device under the
+	// readers' feet.
+	go func() {
+		defer wg.Done()
+		buf := bytes.Repeat([]byte{0x5A}, region)
+		size := initialSize
+		for k := 0; k < readsEach; k++ {
+			d.WriteAt(region, buf)
+			if k%50 == 0 {
+				size += region
+				d.Grow(size)
+			}
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		go func() {
+			defer wg.Done()
+			got := make([]byte, region)
+			for k := 0; k < readsEach; k++ {
+				d.ReadAt(0, got)
+				if !bytes.Equal(got, committed) {
+					t.Error("committed lines changed under a reader")
+					return
+				}
+			}
+			for k := 0; k < chargesEach; k++ {
+				d.ChargeReadN(2, LineSize)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := d.Stats().Sub(base)
+	if want := uint64(readers * (readsEach + 2*chargesEach)); st.Reads != want {
+		t.Errorf("reads = %d, want %d", st.Reads, want)
+	}
+	if want := uint64(readers * (readsEach*region + 2*chargesEach*LineSize)); st.ReadBytes != want {
+		t.Errorf("read bytes = %d, want %d", st.ReadBytes, want)
+	}
+	if want := uint64(readsEach); st.Writes != want {
+		t.Errorf("writes = %d, want %d", st.Writes, want)
+	}
+}

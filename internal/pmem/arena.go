@@ -21,6 +21,7 @@ package pmem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pmoctree/internal/nvbm"
 )
@@ -59,14 +60,23 @@ const (
 var arenaMagic = [8]byte{'P', 'M', 'A', 'R', 'E', 'N', 'A', '2'}
 
 // Arena is a fixed-slot allocator over a Device. It is not safe for
-// concurrent use; each simulation rank owns its arenas.
+// general concurrent use; each simulation rank owns its arenas. One
+// exception is carved out for MVCC serving: Read/ReadField/Live/HighWater
+// on slots that are never freed or rewritten (committed, pinned octree
+// versions) may run concurrently with the single writer's AllocRaw/Write
+// on OTHER slots — the high-water mark is atomic and the device tolerates
+// disjoint-range access racing Grow.
 type Arena struct {
 	dev      *nvbm.Device
 	slotSize int // user-visible bytes per slot
 	stride   int // allocated bytes per slot (8-aligned)
 	maxSlots int
 
-	highWater uint32   // slots ever handed out (contiguous from 0)
+	// highWater counts slots ever handed out (contiguous from 0). It is
+	// atomic — not because the arena is concurrent (it is single-writer by
+	// contract) but because pinned-snapshot readers call Read on committed
+	// slots while the writer allocates, and both paths consult the mark.
+	highWater atomic.Uint32
 	free      []uint32 // volatile free list of 0-based slot indexes
 	live      int      // currently allocated slots
 
@@ -148,21 +158,21 @@ func OpenArena(dev *nvbm.Device) (*Arena, error) {
 		return nil, fmt.Errorf("pmem: bad arena magic %q", magic[:])
 	}
 	a := &Arena{
-		dev:       dev,
-		slotSize:  int(dev.ReadU32(slotSizeOff)),
-		stride:    int(dev.ReadU32(strideOff)),
-		highWater: dev.ReadU32(highWaterOff),
-		maxSlots:  int(dev.ReadU32(maxSlotsOff)),
+		dev:      dev,
+		slotSize: int(dev.ReadU32(slotSizeOff)),
+		stride:   int(dev.ReadU32(strideOff)),
+		maxSlots: int(dev.ReadU32(maxSlotsOff)),
 	}
+	a.highWater.Store(dev.ReadU32(highWaterOff))
 	if a.slotSize <= 0 || a.stride < a.slotSize || a.maxSlots <= 0 {
 		return nil, fmt.Errorf("pmem: corrupt arena geometry: slot %d stride %d cap %d", a.slotSize, a.stride, a.maxSlots)
 	}
-	if int(a.highWater) > a.maxSlots {
-		return nil, fmt.Errorf("pmem: high water %d exceeds capacity %d", a.highWater, a.maxSlots)
+	if int(a.highWater.Load()) > a.maxSlots {
+		return nil, fmt.Errorf("pmem: high water %d exceeds capacity %d", a.highWater.Load(), a.maxSlots)
 	}
 	// Rebuild the free list from the bitmap prefix covering handed-out
 	// slots: one sequential read.
-	n := int(a.highWater)
+	n := int(a.highWater.Load())
 	if n > 0 {
 		bm := make([]byte, (n+7)/8)
 		a.dev.ReadAt(headerSize, bm)
@@ -252,10 +262,10 @@ func (a *Arena) AllocRaw() Handle {
 		idx = a.free[n-1]
 		a.free = a.free[:n-1]
 	} else {
-		if int(a.highWater) >= a.maxSlots {
+		if int(a.highWater.Load()) >= a.maxSlots {
 			panic(fmt.Sprintf("pmem: arena capacity %d exhausted", a.maxSlots))
 		}
-		idx = a.highWater
+		idx = a.highWater.Load()
 		need := a.slotOff(idx) + a.stride
 		if need > a.dev.Size() {
 			// Grow geometrically to amortize; growth is
@@ -266,8 +276,8 @@ func (a *Arena) AllocRaw() Handle {
 			}
 			a.dev.Grow(newSize)
 		}
-		a.highWater++
-		a.dev.WriteU32(highWaterOff, a.highWater)
+		a.highWater.Store(idx + 1)
+		a.dev.WriteU32(highWaterOff, idx+1)
 	}
 	a.setBit(idx, true)
 	a.live++
@@ -295,8 +305,8 @@ func (a *Arena) index(h Handle) uint32 {
 		panic("pmem: nil handle dereference")
 	}
 	idx := uint32(h - 1)
-	if idx >= a.highWater {
-		panic(fmt.Sprintf("pmem: handle %d beyond high water %d", h, a.highWater))
+	if hw := a.highWater.Load(); idx >= hw {
+		panic(fmt.Sprintf("pmem: handle %d beyond high water %d", h, hw))
 	}
 	return idx
 }
@@ -308,7 +318,7 @@ func (a *Arena) Live(h Handle) bool {
 		return false
 	}
 	idx := uint32(h - 1)
-	if idx >= a.highWater {
+	if idx >= a.highWater.Load() {
 		return false
 	}
 	return a.bit(idx)
@@ -387,7 +397,7 @@ func (a *Arena) LiveCount() int { return a.live }
 
 // HighWater returns the number of slots ever handed out; handles range over
 // [1, HighWater].
-func (a *Arena) HighWater() uint32 { return a.highWater }
+func (a *Arena) HighWater() uint32 { return a.highWater.Load() }
 
 // Device returns the underlying memory device (for statistics).
 func (a *Arena) Device() *nvbm.Device { return a.dev }

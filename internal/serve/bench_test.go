@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+)
+
+// benchSnapshot builds a served droplet tree once per benchmark.
+func benchSnapshot(b *testing.B) (*Catalog, *Snapshot) {
+	b.Helper()
+	tree, _ := buildTree(b, 5)
+	cat, s := publish(b, tree, Config{})
+	s.LeafCount() // force the index build out of the timed section
+	return cat, s
+}
+
+func BenchmarkServePointLookup(b *testing.B) {
+	cat, s := benchSnapshot(b)
+	defer cat.Close()
+	defer s.Close()
+	pts := [][3]float64{
+		{0.12, 0.55, 0.81}, {0.5, 0.5, 0.5}, {0.91, 0.07, 0.33}, {0.26, 0.74, 0.48},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		if _, err := s.Point(p[0], p[1], p[2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeRegionQuery(b *testing.B) {
+	cat, s := benchSnapshot(b)
+	defer cat.Close()
+	defer s.Close()
+	box := Box{Min: [3]float64{0.3, 0.3, 0.3}, Max: [3]float64{0.55, 0.55, 0.55}}
+	b.ResetTimer()
+	leaves := 0
+	for i := 0; i < b.N; i++ {
+		hits, err := s.Region(box)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaves += len(hits)
+	}
+	if leaves == 0 {
+		b.Fatal("region query hit no leaves")
+	}
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pmoctree/internal/core"
+)
+
+// HTTP/JSON front end. GET endpoints, query-string parameters, JSON
+// bodies; every request is admitted through the Scheduler, so saturation
+// surfaces as 503 + Retry-After instead of unbounded goroutine pileup.
+//
+//	GET /v1/versions                 -> {"versions":[...],"latest":N}
+//	GET /v1/point?x=&y=&z=[&version=]
+//	GET /v1/region?x0=&y0=&z0=&x1=&y1=&z1=[&version=][&limit=]
+//	GET /v1/agg?field=[&x0=&y0=&z0=&x1=&y1=&z1=][&version=]  (no bounds = whole domain)
+//
+// version selects a pinned committed step; omitted means newest.
+
+type versionsResp struct {
+	Versions []uint64 `json:"versions"`
+	Latest   uint64   `json:"latest"`
+}
+
+type pointResp struct {
+	Version uint64                  `json:"version"`
+	Code    string                  `json:"code"`
+	Level   uint8                   `json:"level"`
+	Center  [3]float64              `json:"center"`
+	Extent  float64                 `json:"extent"`
+	Data    [core.DataWords]float64 `json:"data"`
+}
+
+type regionLeaf struct {
+	Code string                  `json:"code"`
+	Data [core.DataWords]float64 `json:"data"`
+}
+
+type regionResp struct {
+	Version   uint64       `json:"version"`
+	Count     int          `json:"count"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Leaves    []regionLeaf `json:"leaves"`
+}
+
+type aggResp struct {
+	Version uint64  `json:"version"`
+	Field   int     `json:"field"`
+	Count   int     `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	VolSum  float64 `json:"vol_sum"`
+}
+
+type errResp struct {
+	Error      string   `json:"error"`
+	RetryAfter int64    `json:"retry_after_ms,omitempty"`
+	Available  []uint64 `json:"available,omitempty"`
+}
+
+// Handler is the HTTP surface over one catalog and one scheduler.
+type Handler struct {
+	cat   *Catalog
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewHandler mounts the /v1 endpoints.
+func NewHandler(cat *Catalog, sched *Scheduler) *Handler {
+	h := &Handler{cat: cat, sched: sched, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/versions", h.versions)
+	h.mux.HandleFunc("/v1/point", h.point)
+	h.mux.HandleFunc("/v1/region", h.region)
+	h.mux.HandleFunc("/v1/agg", h.agg)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// fail maps the serving layer's typed errors onto HTTP statuses.
+func fail(w http.ResponseWriter, err error) {
+	var sat *SaturatedError
+	var nosuch *NoSuchVersionError
+	switch {
+	case errors.As(err, &sat):
+		secs := int64(sat.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusServiceUnavailable, errResp{
+			Error:      err.Error(),
+			RetryAfter: sat.RetryAfter.Milliseconds(),
+		})
+	case errors.As(err, &nosuch):
+		writeJSON(w, http.StatusNotFound, errResp{Error: err.Error(), Available: nosuch.Available})
+	case errors.Is(err, ErrOutOfDomain), errors.Is(err, ErrBadRegion), errors.Is(err, ErrBadField):
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+	case errors.Is(err, ErrCatalogClosed), errors.Is(err, ErrSchedulerClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errResp{Error: err.Error()})
+	}
+}
+
+// snapshotFor resolves the request's version parameter to a handle the
+// caller must Close.
+func (h *Handler) snapshotFor(r *http.Request) (*Snapshot, error) {
+	vs := r.URL.Query().Get("version")
+	if vs == "" {
+		return h.cat.AcquireLatest()
+	}
+	step, err := strconv.ParseUint(vs, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: version %q is not a step number", ErrBadRegion, vs)
+	}
+	return h.cat.Acquire(step)
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+func boxParams(r *http.Request) (Box, error) {
+	var box Box
+	names := [6]string{"x0", "y0", "z0", "x1", "y1", "z1"}
+	for d := 0; d < 3; d++ {
+		lo, err := floatParam(r, names[d])
+		if err != nil {
+			return box, err
+		}
+		hi, err := floatParam(r, names[d+3])
+		if err != nil {
+			return box, err
+		}
+		box.Min[d], box.Max[d] = lo, hi
+	}
+	return box, nil
+}
+
+func (h *Handler) versions(w http.ResponseWriter, r *http.Request) {
+	steps := h.cat.Steps()
+	resp := versionsResp{Versions: steps}
+	if len(steps) > 0 {
+		resp.Latest = steps[len(steps)-1]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) point(w http.ResponseWriter, r *http.Request) {
+	x, errX := floatParam(r, "x")
+	y, errY := floatParam(r, "y")
+	z, errZ := floatParam(r, "z")
+	if errX != nil || errY != nil || errZ != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "point needs float parameters x, y, z"})
+		return
+	}
+	s, err := h.snapshotFor(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.Close()
+	val, err := h.sched.Do("point", func() (any, error) {
+		res, err := s.Point(x, y, z)
+		if err != nil {
+			return nil, err
+		}
+		cx, cy, cz := res.Code.Center()
+		return pointResp{
+			Version: res.Step,
+			Code:    res.Code.String(),
+			Level:   res.Depth,
+			Center:  [3]float64{cx, cy, cz},
+			Extent:  res.Code.Extent(),
+			Data:    res.Data,
+		}, nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (h *Handler) region(w http.ResponseWriter, r *http.Request) {
+	box, err := boxParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			writeJSON(w, http.StatusBadRequest, errResp{Error: "limit must be a non-negative integer"})
+			return
+		}
+	}
+	s, err := h.snapshotFor(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.Close()
+	val, err := h.sched.Do("region", func() (any, error) {
+		hits, err := s.Region(box)
+		if err != nil {
+			return nil, err
+		}
+		resp := regionResp{Version: s.Step(), Count: len(hits), Leaves: []regionLeaf{}}
+		for _, hit := range hits {
+			if limit > 0 && len(resp.Leaves) >= limit {
+				resp.Truncated = true
+				break
+			}
+			resp.Leaves = append(resp.Leaves, regionLeaf{Code: hit.Code.String(), Data: hit.Data})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (h *Handler) agg(w http.ResponseWriter, r *http.Request) {
+	// Bounds are optional for aggregation: omitting all six means the
+	// whole domain. Supplying only some of them is still an error.
+	box := Box{Max: [3]float64{1, 1, 1}}
+	q := r.URL.Query()
+	if q.Get("x0") != "" || q.Get("y0") != "" || q.Get("z0") != "" ||
+		q.Get("x1") != "" || q.Get("y1") != "" || q.Get("z1") != "" {
+		var err error
+		box, err = boxParams(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+			return
+		}
+	}
+	field, err := strconv.Atoi(r.URL.Query().Get("field"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "agg needs an integer field parameter"})
+		return
+	}
+	s, err := h.snapshotFor(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.Close()
+	val, err := h.sched.Do("agg", func() (any, error) {
+		res, err := s.Aggregate(field, box)
+		if err != nil {
+			return nil, err
+		}
+		return aggResp{
+			Version: res.Step,
+			Field:   field,
+			Count:   res.Count,
+			Sum:     res.Sum,
+			Min:     res.Min,
+			Max:     res.Max,
+			VolSum:  res.VolSum,
+		}, nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
