@@ -47,12 +47,17 @@ func main() {
 		chaosSeed   = flag.Int64("chaos", 0, "run the chaos soak with this fault-injection `seed` (nonzero) instead of a clean run")
 		retain      = flag.Int("retain", 0, "extra committed versions to retain in the fallback ring (0..2); gives cmd/pmserve -history older versions to serve")
 		chaosQuery  = flag.Int("chaosreaders", 0, "with -chaos: run this many concurrent MVCC snapshot readers against pinned versions during the soak")
+		chaosFlight = flag.String("chaosflight", "", "with -chaos: write the soak's flight-recorder ring (commits, crashes, restores, scrubs) as JSONL to `file`")
 		cacheReads  = flag.Bool("cachecommitted", false, "let the decoded-octant cache skip device reads of committed octants (simulation state is identical; modeled NVBM read counts drop, so leave off when reproducing the paper's figures)")
 	)
 	flag.Parse()
 
 	if *chaosSeed != 0 {
 		var qs fault.QueryStats
+		var fr *telemetry.FlightRecorder
+		if *chaosFlight != "" {
+			fr = telemetry.NewFlightRecorder(4096)
+		}
 		rep, err := fault.Run(fault.ChaosConfig{
 			Seed:                *chaosSeed,
 			Steps:               *steps,
@@ -61,7 +66,13 @@ func main() {
 			CacheCommittedReads: *cacheReads,
 			QueryReaders:        *chaosQuery,
 			QueryStats:          &qs,
+			Recorder:            fr,
 		})
+		if *chaosFlight != "" {
+			if derr := fr.DumpFile(*chaosFlight); derr != nil {
+				fmt.Fprintf(os.Stderr, "droplet: flight dump: %v\n", derr)
+			}
+		}
 		fmt.Print(rep)
 		if *chaosQuery > 0 {
 			fmt.Printf("  queries: readers=%d batches=%d served=%d aborted=%d mismatches=%d catalog_rebinds=%d\n",
@@ -97,12 +108,13 @@ func main() {
 		tree.RegisterMetrics(obs.Metrics, "droplet")
 		pool.Instrument(obs.Metrics, "droplet.pool")
 		if *debugAddr != "" {
-			addr, err := telemetry.StartDebugServer(*debugAddr, obs.Metrics)
+			dbg, err := telemetry.StartDebugServer(*debugAddr, obs.Metrics)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /debug/vars, /debug/pprof/)\n", addr)
+			defer dbg.Close()
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /metrics, /debug/vars, /debug/pprof/)\n", dbg.Addr())
 		}
 	}
 	var d pmoctree.Workload

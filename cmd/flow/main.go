@@ -36,11 +36,12 @@ func main() {
 	if *debugAddr != "" {
 		reg := telemetry.NewRegistry()
 		tree.RegisterMetrics(reg, "flow")
-		addr, err := telemetry.StartDebugServer(*debugAddr, reg)
+		dbg, err := telemetry.StartDebugServer(*debugAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /debug/vars, /debug/pprof/)\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/metrics (also /metrics, /debug/vars, /debug/pprof/)\n", dbg.Addr())
 	}
 
 	// Refine where the scenario puts liquid initially, plus a margin.

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmoctree/internal/telemetry"
+)
+
+// Closed-loop load generation: N clients each issue one request, wait for
+// the response, and immediately issue the next, cycling through the
+// scripted query mix until the request budget is spent. Closed-loop means
+// offered load adapts to service rate — the generator measures the
+// server's latency under its own admission control rather than piling up
+// unbounded concurrency. Client-observed latencies are recorded per query
+// class (the /v1/<class> path prefix) and summarized as an SLO document:
+// per-class counts and latency quantiles, the JSON that
+// `benchjson -compare-quantiles` gates CI against.
+
+// SLOClass is one query class's latency summary. Quantile values are
+// nanoseconds.
+type SLOClass struct {
+	Count     uint64             `json:"count"`
+	Quantiles map[string]float64 `json:"quantiles"`
+}
+
+// SLODoc is the checked-in SLO baseline format.
+type SLODoc struct {
+	Classes map[string]SLOClass `json:"classes"`
+}
+
+// classOf maps a request path to its query class ("/v1/point?..." ->
+// "point").
+func classOf(p string) string {
+	p = strings.TrimPrefix(p, "/v1/")
+	if i := strings.IndexAny(p, "?/"); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		return "other"
+	}
+	return p
+}
+
+// runLoadgen drives the handler over a loopback listener with `clients`
+// closed-loop clients until `requests` total requests have completed,
+// cycling through the scripted paths. Returns the per-class SLO summary.
+func runLoadgen(h http.Handler, scriptPath string, clients, requests int) (SLODoc, error) {
+	raw, err := os.ReadFile(scriptPath)
+	if err != nil {
+		return SLODoc{}, err
+	}
+	var paths []string
+	if err := json.Unmarshal(raw, &paths); err != nil {
+		return SLODoc{}, fmt.Errorf("script %s: %w (want a JSON array of request paths)", scriptPath, err)
+	}
+	if len(paths) == 0 {
+		return SLODoc{}, fmt.Errorf("script %s: no request paths", scriptPath)
+	}
+	if clients <= 0 {
+		clients = 4
+	}
+	if requests <= 0 {
+		requests = 400
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return SLODoc{}, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Client-side latency histograms, one per query class, in a private
+	// registry so loadgen numbers never mix into the server's own metrics.
+	reg := telemetry.NewRegistry()
+	var issued atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(offset int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := offset; ; i++ {
+				if issued.Add(1) > int64(requests) {
+					return
+				}
+				p := paths[i%len(paths)]
+				t0 := time.Now()
+				resp, err := client.Get(base + p)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// Rejected requests (503 + Retry-After) are part of closed-loop
+				// behavior but their latency is the rejection fast path, not
+				// service; keep them out of the class histograms.
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					failures.Add(1)
+					continue
+				}
+				reg.Histogram("loadgen.latency_ns." + classOf(p)).Observe(uint64(time.Since(t0)))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	doc := SLODoc{Classes: map[string]SLOClass{}}
+	snap := reg.Snapshot()
+	for name, hs := range snap.Histograms {
+		class := strings.TrimPrefix(name, "loadgen.latency_ns.")
+		doc.Classes[class] = SLOClass{
+			Count: hs.Count,
+			Quantiles: map[string]float64{
+				"p50": hs.P50,
+				"p95": hs.P95,
+				"p99": hs.P99,
+			},
+		}
+	}
+	if f := failures.Load(); f > 0 {
+		fmt.Fprintf(os.Stderr, "pmserve: loadgen: %d request(s) failed or were rejected (excluded from quantiles)\n", f)
+	}
+	return doc, nil
+}
+
+// writeSLO writes the document as stable, indented JSON (classes sorted).
+func writeSLO(w io.Writer, doc SLODoc) error {
+	// json.Marshal sorts map keys, so the output is already stable.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// summarizeSLO renders a one-line-per-class summary for stderr.
+func summarizeSLO(doc SLODoc) string {
+	classes := make([]string, 0, len(doc.Classes))
+	for c := range doc.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var sb strings.Builder
+	for _, c := range classes {
+		sc := doc.Classes[c]
+		fmt.Fprintf(&sb, "  %-10s n=%-6d p50=%.0fus p95=%.0fus p99=%.0fus\n",
+			c, sc.Count, sc.Quantiles["p50"]/1e3, sc.Quantiles["p95"]/1e3, sc.Quantiles["p99"]/1e3)
+	}
+	return sb.String()
+}

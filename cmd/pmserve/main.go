@@ -18,8 +18,14 @@
 // (cmd/droplet -retain) are published alongside the newest commit, so
 // clients can query several pinned steps of history.
 //
-// Endpoints are documented in internal/serve (http.go); /metrics dumps
-// the serve.* telemetry registry as JSON.
+// Observability: /metrics serves the telemetry registry in Prometheus
+// text format, /metrics.json as JSON; /healthz and /readyz report
+// liveness and readiness; every query carries an X-Trace-Id whose
+// per-phase breakdown is retrievable from /v1/trace; -flightdump and
+// -tracedump write the flight-recorder ring (JSONL) and the retained
+// request traces (Chrome trace JSON) on exit, and SIGQUIT dumps the
+// flight ring from a live process. -loadgen runs the scripted query mix
+// closed-loop and emits the per-class latency SLO document CI gates on.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"syscall"
 	"time"
 
 	"pmoctree"
@@ -51,6 +58,16 @@ func main() {
 		maxLevel = flag.Int("maxlevel", 5, "maximum refinement level for -simulate")
 		stepTime = flag.Duration("steptime", 500*time.Millisecond, "pause between -simulate steps in serve mode")
 		script   = flag.String("script", "", "batch mode: JSON array of request paths to run and print")
+
+		debugAddr  = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
+		traceCap   = flag.Int("traces", 256, "request traces retained for /v1/trace")
+		traceDump  = flag.String("tracedump", "", "write retained request traces as Chrome trace JSON to this file on exit")
+		flightDump = flag.String("flightdump", "", "write the flight-recorder ring as JSONL to this file on exit and on SIGQUIT")
+
+		loadgen    = flag.Bool("loadgen", false, "closed-loop load generation over the -script query mix; writes an SLO JSON summary and exits")
+		lgClients  = flag.Int("loadgen-clients", 4, "concurrent closed-loop clients for -loadgen")
+		lgRequests = flag.Int("loadgen-requests", 400, "total requests for -loadgen")
+		sloOut     = flag.String("slo-out", "", "write the -loadgen SLO JSON to this file (default stdout)")
 	)
 	flag.Parse()
 	if *image == "" {
@@ -70,12 +87,19 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	flight := telemetry.NewFlightRecorder(4096)
+	tree.SetFlightRecorder(flight)
+	if *flightDump != "" {
+		defer flight.DumpFile(*flightDump)
+		defer flight.DumpOnSignal(*flightDump, syscall.SIGQUIT)()
+	}
 	cat := serve.NewCatalog(tree, serve.Config{Keep: *keep, Registry: reg})
 	sched := serve.NewScheduler(serve.SchedulerConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		BatchSize:  *batch,
 		Registry:   reg,
+		Recorder:   flight,
 	})
 	defer sched.Close()
 	defer cat.Close()
@@ -99,12 +123,75 @@ func main() {
 	}
 	s.Close()
 
+	handler := serve.NewHandler(cat, sched)
+	traces := telemetry.NewTraceSink(*traceCap)
+	handler.SetTraceSink(traces)
+	if *traceDump != "" {
+		defer func() {
+			if out, err := os.Create(*traceDump); err == nil {
+				_ = traces.WriteChromeTrace(out)
+				out.Close()
+			}
+		}()
+	}
+
+	health := telemetry.NewHealth()
+	health.AddCheck("catalog", func() error {
+		if len(cat.Steps()) == 0 {
+			return fmt.Errorf("no published versions")
+		}
+		return nil
+	})
+	health.SetReady(true)
+
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.NewHandler(cat, sched))
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/", handler)
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(reg.Snapshot())
 	})
+	mux.Handle("/healthz", health.HealthzHandler())
+	mux.Handle("/readyz", health.ReadyzHandler())
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "pmserve: debug server on http://%s/debug/metrics\n", dbg.Addr())
+	}
+
+	if *loadgen {
+		if *script == "" {
+			fmt.Fprintln(os.Stderr, "pmserve: -loadgen needs -script (the query mix to replay)")
+			os.Exit(2)
+		}
+		runSimulation(tree, cat, *simulate, *maxLevel, 0)
+		doc, err := runLoadgen(mux, *script, *lgClients, *lgRequests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmserve: loadgen complete (%d clients):\n%s", *lgClients, summarizeSLO(doc))
+		out := io.Writer(os.Stdout)
+		if *sloOut != "" {
+			f, err := os.Create(*sloOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := writeSLO(out, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *script != "" {
 		// Batch mode: any -simulate steps run up front so output is
@@ -120,6 +207,7 @@ func main() {
 	if *simulate > 0 {
 		go runSimulation(tree, cat, *simulate, *maxLevel, *stepTime)
 	}
+	go watchSaturation(health, reg, flight)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
@@ -130,6 +218,32 @@ func main() {
 	if err := http.Serve(ln, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// watchSaturation polls the scheduler's rejection counter and flips the
+// health endpoint into a degraded state while admission is saturating:
+// three consecutive intervals with fresh rejections degrade, one clean
+// interval clears.
+func watchSaturation(health *telemetry.Health, reg *telemetry.Registry, flight *telemetry.FlightRecorder) {
+	rejected := reg.Counter("serve.sched.rejected")
+	last := rejected.Value()
+	streak := 0
+	for range time.Tick(time.Second) {
+		now := rejected.Value()
+		if now > last {
+			streak++
+			if streak == 3 {
+				health.Degrade("saturation", fmt.Sprintf("admission rejections sustained for %ds (total %d)", streak, now))
+				flight.Record(telemetry.FlightEvent{Kind: "degraded", Value: now, Detail: "sustained admission saturation"})
+			}
+		} else {
+			if streak >= 3 {
+				health.Clear("saturation")
+			}
+			streak = 0
+		}
+		last = now
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"pmoctree/internal/pmem"
+	"pmoctree/internal/telemetry"
 )
 
 // GC runs a mark-and-sweep collection over the NVBM arena (§3.2): it marks
@@ -62,6 +63,7 @@ func (t *Tree) GC() int {
 	t.stats.GCs++
 	t.stats.GCFreed += freed
 	t.stats.Deferred = 0
+	t.flight.Record(telemetry.FlightEvent{Kind: "gc", Step: t.step, Value: uint64(freed)})
 	return freed
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pmoctree/internal/morton"
+	"pmoctree/internal/telemetry"
 )
 
 // maybeEvict merges least-frequently-accessed C0 subtrees out to C1 while
@@ -173,6 +174,7 @@ func (t *Tree) Persist() int {
 	t.committed = t.cur
 	t.committedStep = t.step
 	t.step++
+	t.flight.Record(telemetry.FlightEvent{Kind: "commit", Step: t.committedStep, Value: uint64(t.committed)})
 	// Commit is an epoch boundary for the decoded-octant cache: the merge
 	// recycled every DRAM handle and the version tags just changed meaning.
 	t.cacheInvalidateAll()

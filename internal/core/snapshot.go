@@ -253,3 +253,11 @@ func (p *VersionPin) FindLeaf(code morton.Code) (Ref, Octant) {
 // over the version (the serving layer's Morton leaf index) but semantically
 // consult persistent octants.
 func (p *VersionPin) ChargeReads(n, sz int) { p.dev.ChargeReadN(n, sz) }
+
+// ChargeReadsModeled charges like ChargeReads and returns the modeled
+// nanoseconds of device time the reads cost, so serving traces can
+// attribute device-read time to the request that incurred it.
+func (p *VersionPin) ChargeReadsModeled(n, sz int) uint64 {
+	p.dev.ChargeReadN(n, sz)
+	return p.dev.ModeledReadCost(n, sz)
+}

@@ -154,7 +154,8 @@ type Tree struct {
 	// ForEachCommittedNode).
 	scratch [RecordSize]byte
 	stats   OpStats
-	tel     *telemetry.Tracer // nil when telemetry is off
+	tel     *telemetry.Tracer         // nil when telemetry is off
+	flight  *telemetry.FlightRecorder // nil when the flight recorder is off
 
 	// Octant fast path (cache.go, leafindex.go): the direct-mapped
 	// decoded-octant cache with its epoch stamp, the Z-order leaf index
@@ -290,6 +291,14 @@ func (t *Tree) SetTracer(tel *telemetry.Tracer) { t.tel = tel }
 // Tracer returns the attached tracer (nil when telemetry is off),
 // satisfying telemetry.Traceable so the step driver can tag spans.
 func (t *Tree) Tracer() *telemetry.Tracer { return t.tel }
+
+// SetFlightRecorder attaches a flight recorder; Persist and GC then
+// record commit and gc events into it. A nil recorder (the default)
+// turns recording off.
+func (t *Tree) SetFlightRecorder(fr *telemetry.FlightRecorder) { t.flight = fr }
+
+// FlightRecorder returns the attached flight recorder (nil when off).
+func (t *Tree) FlightRecorder() *telemetry.FlightRecorder { return t.flight }
 
 // span opens a phase span tagged with the working version; the usual call
 // site is `defer t.span("Refine").End()`. Nil-safe end to end.

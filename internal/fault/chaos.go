@@ -12,6 +12,7 @@ import (
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/recovery"
 	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
 )
 
 // ChaosConfig parameterizes a chaos soak run.
@@ -37,6 +38,13 @@ type ChaosConfig struct {
 	QueryReaders int
 	// QueryStats, when non-nil, receives the query-side totals at run end.
 	QueryStats *QueryStats
+	// Recorder, when non-nil, receives a flight event per commit attempt,
+	// commit, crash, restore, scrub pass, and rot injection, so a failed
+	// soak leaves a black box: the dump's commit/commit_attempt digests
+	// are exactly the legitimate recovery targets, and every restore event
+	// must name one of them. The recorder never feeds report fields, so
+	// bit-reproducibility per seed is unaffected.
+	Recorder *telemetry.FlightRecorder
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -151,6 +159,7 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 	// history records the digest of every version ever committed; a
 	// recovered state must match one of them.
 	history := map[uint64]bool{commitDigest(tree): true}
+	cfg.Recorder.Record(telemetry.FlightEvent{Kind: "commit", Step: tree.CommittedStep(), Value: commitDigest(tree)})
 	histHash := fnv.New64a()
 	addHistory := func(dg uint64) {
 		history[dg] = true
@@ -176,7 +185,7 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		// so restore rejects as little as possible.
 		if haveReplica {
 			if devStep, err := core.CommittedStepOf(nv); err == nil && devStep == replicaStep {
-				accumulateScrub(&rep, scrubFromReplica(nv, mgr))
+				accumulateScrub(&rep, cfg.Recorder, scrubFromReplica(nv, mgr))
 			}
 		}
 		t, rrep, err := core.RestoreWithReport(mkConfig(nv))
@@ -202,7 +211,10 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		if rrep.Fallbacks > 0 {
 			rep.Fallbacks++
 		}
-		if dg := commitDigest(t); !history[dg] {
+		dg := commitDigest(t)
+		cfg.Recorder.Record(telemetry.FlightEvent{Kind: "restore", Step: t.CommittedStep(), Value: dg,
+			Detail: fmt.Sprintf("fallbacks=%d", rrep.Fallbacks)})
+		if !history[dg] {
 			return fmt.Errorf("step %d: restored version (step %d) was never committed", s, rrep.ChosenStep)
 		}
 		tree = t
@@ -236,9 +248,11 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 			// before attempting, since a crash later in Persist (GC,
 			// retarget) leaves it durably committed.
 			pending = workingDigest(tree)
+			cfg.Recorder.Record(telemetry.FlightEvent{Kind: "commit_attempt", Step: tree.Step(), Value: pending})
 			tree.Persist()
 		}()
 		if crashed {
+			cfg.Recorder.Record(telemetry.FlightEvent{Kind: "crash", Step: uint64(s)})
 			if pending != 0 {
 				addHistory(pending)
 			}
@@ -251,6 +265,7 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		nv.RestorePower() // disarm an unspent countdown
 		rep.Committed++
 		addHistory(commitDigest(tree))
+		cfg.Recorder.Record(telemetry.FlightEvent{Kind: "commit", Step: tree.CommittedStep(), Value: commitDigest(tree)})
 		srv.publish()
 
 		if err := mgr.Sync(0, nv); err != nil {
@@ -262,9 +277,13 @@ func Run(cfg ChaosConfig) (ChaosReport, error) {
 		// Rot and scrub mutate device bytes in place; exclude reader
 		// batches so a double pass never straddles a flip or a repair.
 		srv.lockFaults()
+		rotBefore := in.BitsFlipped
 		in.InjectRot(nv)
+		if flipped := in.BitsFlipped - rotBefore; flipped > 0 {
+			cfg.Recorder.Record(telemetry.FlightEvent{Kind: "inject_rot", Step: uint64(s), Value: uint64(flipped)})
+		}
 		if haveReplica && replicaStep == tree.CommittedStep() {
-			accumulateScrub(&rep, scrubFromReplica(nv, mgr))
+			accumulateScrub(&rep, cfg.Recorder, scrubFromReplica(nv, mgr))
 		}
 		srv.unlockFaults()
 		if err := safeValidate(tree); err != nil {
@@ -301,12 +320,15 @@ func scrubFromReplica(dev *nvbm.Device, mgr *recovery.ReplicaManager) nvbm.Scrub
 	})
 }
 
-func accumulateScrub(rep *ChaosReport, sr nvbm.ScrubReport) {
+func accumulateScrub(rep *ChaosReport, fr *telemetry.FlightRecorder, sr nvbm.ScrubReport) {
 	rep.ScrubPasses++
 	rep.ScrubCorrupt += sr.Corrupt
 	rep.ScrubRepaired += sr.Repaired
 	rep.ScrubRemapped += sr.Remapped
 	rep.ScrubUnrepairable += sr.Unrepairable
+	fr.Record(telemetry.FlightEvent{Kind: "scrub", Value: uint64(sr.Repaired),
+		Detail: fmt.Sprintf("corrupt=%d repaired=%d remapped=%d unrepairable=%d",
+			sr.Corrupt, sr.Repaired, sr.Remapped, sr.Unrepairable)})
 }
 
 func finalize(rep *ChaosReport, in *Injector, link *cluster.LossyNetwork,

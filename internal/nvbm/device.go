@@ -346,6 +346,17 @@ func (d *Device) ChargeReadN(count, bytesEach int) {
 	d.modeledNs.Add(uint64(count) * d.lat.ReadNanos(bytesEach))
 }
 
+// ModeledReadCost returns the modeled nanoseconds count independent reads
+// of bytesEach bytes would cost, without charging them — the attribution
+// half of ChargeReadN, for callers that charge once but also want the cost
+// credited to a specific request trace.
+func (d *Device) ModeledReadCost(count, bytesEach int) uint64 {
+	if count <= 0 {
+		return 0
+	}
+	return uint64(count) * d.lat.ReadNanos(bytesEach)
+}
+
 // ChargeWriteN accounts count independent writes of bytesEach bytes.
 func (d *Device) ChargeWriteN(count, bytesEach int) {
 	if count <= 0 || d.unmetered.Load() {

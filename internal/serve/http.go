@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"pmoctree/internal/core"
+	"pmoctree/internal/telemetry"
 )
 
 // HTTP/JSON front end. GET endpoints, query-string parameters, JSON
@@ -18,8 +19,16 @@ import (
 //	GET /v1/point?x=&y=&z=[&version=]
 //	GET /v1/region?x0=&y0=&z0=&x1=&y1=&z1=[&version=][&limit=]
 //	GET /v1/agg?field=[&x0=&y0=&z0=&x1=&y1=&z1=][&version=]  (no bounds = whole domain)
+//	GET /v1/trace?id=N               -> one retained request trace
+//	GET /v1/trace[?n=K]              -> the K most recent traces (default all retained)
 //
 // version selects a pinned committed step; omitted means newest.
+//
+// When the handler carries a TraceSink, every query request gets a trace
+// context threaded through the scheduler and the snapshot query, the
+// response carries its ID in X-Trace-Id, and the finished trace —
+// queue_wait, index_build, leaf_scan, device_read spans plus derived
+// handler overhead — is retrievable from /v1/trace.
 
 type versionsResp struct {
 	Versions []uint64 `json:"versions"`
@@ -65,9 +74,10 @@ type errResp struct {
 
 // Handler is the HTTP surface over one catalog and one scheduler.
 type Handler struct {
-	cat   *Catalog
-	sched *Scheduler
-	mux   *http.ServeMux
+	cat    *Catalog
+	sched  *Scheduler
+	traces *telemetry.TraceSink // nil when request tracing is off
+	mux    *http.ServeMux
 }
 
 // NewHandler mounts the /v1 endpoints.
@@ -77,7 +87,58 @@ func NewHandler(cat *Catalog, sched *Scheduler) *Handler {
 	h.mux.HandleFunc("/v1/point", h.point)
 	h.mux.HandleFunc("/v1/region", h.region)
 	h.mux.HandleFunc("/v1/agg", h.agg)
+	h.mux.HandleFunc("/v1/trace", h.trace)
 	return h
+}
+
+// SetTraceSink enables per-request tracing; call before serving.
+func (h *Handler) SetTraceSink(ts *telemetry.TraceSink) { h.traces = ts }
+
+// TraceSink returns the handler's sink (nil when tracing is off).
+func (h *Handler) TraceSink() *telemetry.TraceSink { return h.traces }
+
+// startTrace opens a trace for one request and stamps its ID on the
+// response. Returns nil (a no-op context) when tracing is off.
+func (h *Handler) startTrace(w http.ResponseWriter, kind string) *telemetry.TraceContext {
+	tc := h.traces.Start(kind)
+	if tc != nil {
+		w.Header().Set("X-Trace-Id", strconv.FormatUint(tc.ID(), 10))
+	}
+	return tc
+}
+
+// trace serves retained request traces: ?id=N returns one, ?n=K returns
+// the K most recent (default all retained).
+func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
+	if h.traces == nil {
+		writeJSON(w, http.StatusNotFound, errResp{Error: "serve: request tracing is not enabled"})
+		return
+	}
+	q := r.URL.Query()
+	if ids := q.Get("id"); ids != "" {
+		id, err := strconv.ParseUint(ids, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResp{Error: "id must be an unsigned integer"})
+			return
+		}
+		rt, ok := h.traces.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errResp{Error: fmt.Sprintf("serve: trace %d is not retained", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, rt)
+		return
+	}
+	n := 0
+	if ns := q.Get("n"); ns != "" {
+		var err error
+		n, err = strconv.Atoi(ns)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errResp{Error: "n must be a non-negative integer"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, h.traces.Recent(n))
 }
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -173,14 +234,17 @@ func (h *Handler) point(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "point needs float parameters x, y, z"})
 		return
 	}
+	tc := h.startTrace(w, "point")
+	defer tc.Finish()
 	s, err := h.snapshotFor(r)
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.Do("point", func() (any, error) {
-		res, err := s.Point(x, y, z)
+	val, err := h.sched.DoTraced(tc, "point", func() (any, error) {
+		res, err := s.PointTraced(tc, x, y, z)
 		if err != nil {
 			return nil, err
 		}
@@ -195,6 +259,7 @@ func (h *Handler) point(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}
@@ -215,14 +280,17 @@ func (h *Handler) region(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tc := h.startTrace(w, "region")
+	defer tc.Finish()
 	s, err := h.snapshotFor(r)
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.Do("region", func() (any, error) {
-		hits, err := s.Region(box)
+	val, err := h.sched.DoTraced(tc, "region", func() (any, error) {
+		hits, err := s.RegionTraced(tc, box)
 		if err != nil {
 			return nil, err
 		}
@@ -237,6 +305,7 @@ func (h *Handler) region(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}
@@ -262,14 +331,17 @@ func (h *Handler) agg(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "agg needs an integer field parameter"})
 		return
 	}
+	tc := h.startTrace(w, "agg")
+	defer tc.Finish()
 	s, err := h.snapshotFor(r)
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.Do("agg", func() (any, error) {
-		res, err := s.Aggregate(field, box)
+	val, err := h.sched.DoTraced(tc, "agg", func() (any, error) {
+		res, err := s.AggregateTraced(tc, field, box)
 		if err != nil {
 			return nil, err
 		}
@@ -284,6 +356,7 @@ func (h *Handler) agg(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
+		tc.SetError(err)
 		fail(w, err)
 		return
 	}

@@ -36,6 +36,9 @@ type SchedulerConfig struct {
 	RetryAfter time.Duration
 	// Registry, when set, receives serve.* request metrics.
 	Registry *telemetry.Registry
+	// Recorder, when set, receives a flight event per rejected submit, so
+	// a post-mortem shows when admission saturated.
+	Recorder *telemetry.FlightRecorder
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -64,6 +67,7 @@ type request struct {
 	fn   func() (any, error)
 	done chan response
 	enq  time.Time
+	tc   *telemetry.TraceContext // nil when the request is untraced
 }
 
 // Scheduler is the bounded, batching request admission layer. Queries
@@ -79,11 +83,13 @@ type Scheduler struct {
 	mu     sync.RWMutex // guards queue close vs. submits
 	closed bool
 
-	requests  *telemetry.Counter
-	rejected  *telemetry.Counter
-	errors    *telemetry.Counter
-	latency   *telemetry.Histogram
-	batchHist *telemetry.Histogram
+	reg           *telemetry.Registry
+	requests      *telemetry.Counter
+	rejected      *telemetry.Counter
+	schedRejected *telemetry.Counter
+	errors        *telemetry.Counter
+	latency       *telemetry.Histogram
+	batchHist     *telemetry.Histogram
 }
 
 // NewScheduler starts the worker pool.
@@ -91,8 +97,10 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{cfg: cfg, queue: make(chan *request, cfg.QueueDepth)}
 	if r := cfg.Registry; r != nil {
+		s.reg = r
 		s.requests = r.Counter("serve.requests")
 		s.rejected = r.Counter("serve.rejected")
+		s.schedRejected = r.Counter("serve.sched.rejected")
 		s.errors = r.Counter("serve.errors")
 		s.latency = r.Histogram("serve.latency_ns")
 		s.batchHist = r.Histogram("serve.batch_size")
@@ -135,9 +143,17 @@ func (s *Scheduler) run(batch []*request) {
 		s.batchHist.Observe(uint64(len(batch)))
 	}
 	for _, req := range batch {
+		begin := time.Now()
+		req.tc.AddSpan("queue_wait", req.enq, 0)
+		if s.reg != nil {
+			s.reg.Histogram("serve.queue_wait_ns."+req.kind).Observe(uint64(begin.Sub(req.enq)))
+		}
 		val, err := req.fn()
 		if err != nil && s.errors != nil {
 			s.errors.Inc()
+		}
+		if s.reg != nil {
+			s.reg.Histogram("serve.service_ns."+req.kind).Observe(uint64(time.Since(begin)))
 		}
 		if s.latency != nil {
 			s.latency.Observe(uint64(time.Since(req.enq)))
@@ -150,7 +166,15 @@ func (s *Scheduler) run(batch []*request) {
 // queue returns *SaturatedError immediately; a closed scheduler returns
 // ErrSchedulerClosed.
 func (s *Scheduler) Do(kind string, fn func() (any, error)) (any, error) {
-	req := &request{kind: kind, fn: fn, done: make(chan response, 1), enq: time.Now()}
+	return s.DoTraced(nil, kind, fn)
+}
+
+// DoTraced is Do with a trace context carried through admission: the
+// request's queue wait is recorded as a "queue_wait" span on tc, and the
+// same tc flows into fn's closure for the query-phase spans. A nil tc
+// means untraced.
+func (s *Scheduler) DoTraced(tc *telemetry.TraceContext, kind string, fn func() (any, error)) (any, error) {
+	req := &request{kind: kind, fn: fn, done: make(chan response, 1), enq: time.Now(), tc: tc}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -164,6 +188,14 @@ func (s *Scheduler) Do(kind string, fn func() (any, error)) (any, error) {
 		if s.rejected != nil {
 			s.rejected.Inc()
 		}
+		if s.schedRejected != nil {
+			s.schedRejected.Inc()
+		}
+		s.cfg.Recorder.Record(telemetry.FlightEvent{
+			Kind:   "reject",
+			Value:  uint64(s.cfg.QueueDepth),
+			Detail: "admission queue saturated: " + kind,
+		})
 		return nil, &SaturatedError{RetryAfter: s.cfg.RetryAfter}
 	}
 	if s.requests != nil {

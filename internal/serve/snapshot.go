@@ -9,6 +9,7 @@ import (
 
 	"pmoctree/internal/core"
 	"pmoctree/internal/morton"
+	"pmoctree/internal/telemetry"
 )
 
 // ErrOutOfDomain is returned for query coordinates outside the unit cube
@@ -75,12 +76,14 @@ func (s *Snapshot) LeafCount() int {
 	return len(s.v.leaves)
 }
 
-// ensure builds the Morton leaf index on first use.
-func (v *version) ensure() {
+// ensure builds the Morton leaf index on first use, reporting whether
+// this call did the build — the caller that pays the build records it as
+// an index_build trace span; everyone else rides the cached index.
+func (v *version) ensure() bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.built {
-		return
+		return false
 	}
 	var leaves []core.LeafEntry
 	depth := uint8(0)
@@ -99,6 +102,20 @@ func (v *version) ensure() {
 	}
 	v.leaves, v.keys, v.depth = leaves, keys, depth
 	v.built = true
+	return true
+}
+
+// ensureTraced builds the index like ensure, recording an index_build
+// span on tc when this call paid for the build.
+func (v *version) ensureTraced(tc *telemetry.TraceContext) {
+	if tc == nil {
+		v.ensure()
+		return
+	}
+	sp := tc.StartSpan("index_build")
+	if v.ensure() {
+		sp.End()
+	}
 }
 
 // cellAt maps a point to its MaxLevel cell code. The domain is the unit
@@ -138,17 +155,31 @@ type PointResult struct {
 // charged against the pinned device — is the root-to-leaf descent the
 // index replaces.
 func (s *Snapshot) Point(x, y, z float64) (PointResult, error) {
+	return s.PointTraced(nil, x, y, z)
+}
+
+// PointTraced is Point with per-phase trace spans: index_build (when this
+// request pays for the lazy index), leaf_scan (the binary search), and
+// device_read (zero wall time, carrying the modeled descent cost). A nil
+// tc means untraced.
+func (s *Snapshot) PointTraced(tc *telemetry.TraceContext, x, y, z float64) (PointResult, error) {
 	cell, err := cellAt(x, y, z)
 	if err != nil {
 		return PointResult{}, err
 	}
-	s.v.ensure()
+	tc.SetStep(s.Step())
+	s.v.ensureTraced(tc)
+	scan := tc.StartSpan("leaf_scan")
 	i, err := s.v.leafAt(cell.Key())
+	scan.End()
 	if err != nil {
 		return PointResult{}, err
 	}
 	leaf := s.v.leaves[i]
-	s.v.pin.ChargeReads(int(leaf.Code.Level())+1, core.RecordSize)
+	dr := tc.StartSpan("device_read")
+	modeled := s.v.pin.ChargeReadsModeled(int(leaf.Code.Level())+1, core.RecordSize)
+	dr.AddModeled(modeled)
+	dr.End()
 	return PointResult{
 		Step:  s.Step(),
 		Code:  leaf.Code,
@@ -232,9 +263,17 @@ func overlaps(code morton.Code, box Box) bool {
 
 // Region returns every leaf intersecting box, in Z-order.
 func (s *Snapshot) Region(box Box) ([]LeafHit, error) {
-	s.v.ensure()
+	return s.RegionTraced(nil, box)
+}
+
+// RegionTraced is Region with per-phase trace spans.
+func (s *Snapshot) RegionTraced(tc *telemetry.TraceContext, box Box) ([]LeafHit, error) {
+	tc.SetStep(s.Step())
+	s.v.ensureTraced(tc)
+	scan := tc.StartSpan("leaf_scan")
 	first, last, charge, err := s.v.regionWindow(box)
 	if err != nil {
+		scan.End()
 		return nil, err
 	}
 	var hits []LeafHit
@@ -243,7 +282,10 @@ func (s *Snapshot) Region(box Box) ([]LeafHit, error) {
 			hits = append(hits, LeafHit{Code: s.v.leaves[i].Code, Data: s.v.leaves[i].Data})
 		}
 	}
-	s.v.pin.ChargeReads(charge, core.RecordSize)
+	scan.End()
+	dr := tc.StartSpan("device_read")
+	dr.AddModeled(s.v.pin.ChargeReadsModeled(charge, core.RecordSize))
+	dr.End()
 	return hits, nil
 }
 
@@ -260,12 +302,20 @@ type AggResult struct {
 
 // Aggregate folds data field `field` over every leaf intersecting box.
 func (s *Snapshot) Aggregate(field int, box Box) (AggResult, error) {
+	return s.AggregateTraced(nil, field, box)
+}
+
+// AggregateTraced is Aggregate with per-phase trace spans.
+func (s *Snapshot) AggregateTraced(tc *telemetry.TraceContext, field int, box Box) (AggResult, error) {
 	if field < 0 || field >= core.DataWords {
 		return AggResult{}, ErrBadField
 	}
-	s.v.ensure()
+	tc.SetStep(s.Step())
+	s.v.ensureTraced(tc)
+	scan := tc.StartSpan("leaf_scan")
 	first, last, charge, err := s.v.regionWindow(box)
 	if err != nil {
+		scan.End()
 		return AggResult{}, err
 	}
 	res := AggResult{Step: s.Step(), Min: math.Inf(1), Max: math.Inf(-1)}
@@ -289,6 +339,9 @@ func (s *Snapshot) Aggregate(field int, box Box) (AggResult, error) {
 	if res.Count == 0 {
 		res.Min, res.Max = 0, 0
 	}
-	s.v.pin.ChargeReads(charge, core.RecordSize)
+	scan.End()
+	dr := tc.StartSpan("device_read")
+	dr.AddModeled(s.v.pin.ChargeReadsModeled(charge, core.RecordSize))
+	dr.End()
 	return res, nil
 }

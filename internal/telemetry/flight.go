@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a fixed-size, lock-free ring of recent structured
+// events — the black box a post-mortem reads when a process is killed or
+// a soak fails. Producers are hot paths (commits, GC passes, scrub
+// results, fault injections, admission rejections), so Record is one
+// atomic fetch-add plus one atomic pointer store: no locks, no blocking,
+// writers never wait for readers. Readers (Events, WriteJSONL) see a
+// consistent snapshot because every slot holds an immutable *FlightEvent
+// published with an atomic store; a torn view of the ring can at worst
+// miss the newest events or double-see an overwritten slot, both of
+// which Events resolves by de-duplicating on Seq.
+//
+// All methods on a nil *FlightRecorder are no-ops, so subsystems thread
+// an optional recorder at one pointer test per event.
+
+// FlightEvent is one recorded occurrence. Kind is a short stable tag
+// ("commit", "gc", "scrub", "crash", "restore", "reject", ...); Step and
+// Value carry the kind's payload (a step number, a digest, a count),
+// Detail is free text.
+type FlightEvent struct {
+	Seq    uint64 `json:"seq"`
+	WallNs int64  `json:"wall_ns"` // nanoseconds since the recorder was created
+	Kind   string `json:"kind"`
+	Step   uint64 `json:"step,omitempty"`
+	Value  uint64 `json:"value,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightRecorder is the ring. The zero value is not usable; call
+// NewFlightRecorder.
+type FlightRecorder struct {
+	begin time.Time
+	seq   atomic.Uint64
+	slots []atomic.Pointer[FlightEvent]
+}
+
+// NewFlightRecorder returns a recorder retaining the last capacity events
+// (default 1024 when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &FlightRecorder{begin: time.Now(), slots: make([]atomic.Pointer[FlightEvent], capacity)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Seq and WallNs are filled in; the passed struct's other fields
+// are kept. Safe from any goroutine, lock-free, never blocks.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	ev.Seq = f.seq.Add(1)
+	ev.WallNs = time.Since(f.begin).Nanoseconds()
+	f.slots[int((ev.Seq-1)%uint64(len(f.slots)))].Store(&ev)
+}
+
+// Recorded returns the total number of events recorded (not retained).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Events returns the retained events in Seq order, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	seen := make(map[uint64]bool, len(f.slots))
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil && !seen[p.Seq] {
+			seen[p.Seq] = true
+			out = append(out, *p)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained events as one JSON object per line,
+// oldest first.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range f.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpFile writes the retained events to path as JSONL. A nil recorder
+// writes nothing and returns nil.
+func (f *FlightRecorder) DumpFile(path string) error {
+	if f == nil {
+		return nil
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSONL(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// DumpOnSignal installs a handler that dumps the ring to path every time
+// one of the given signals arrives (SIGQUIT is the conventional choice),
+// then keeps running — the black box is extracted without killing the
+// process. Returns a stop function that uninstalls the handler.
+func (f *FlightRecorder) DumpOnSignal(path string, signals ...os.Signal) (stop func()) {
+	if f == nil || len(signals) == 0 {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, signals...)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				_ = f.DumpFile(path)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// ReadFlightDump parses a JSONL dump back into events (the test-side
+// inverse of WriteJSONL).
+func ReadFlightDump(r io.Reader) ([]FlightEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []FlightEvent
+	for {
+		var ev FlightEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

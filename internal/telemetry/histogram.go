@@ -69,6 +69,16 @@ func histBucketBounds(i int) (lo, hi uint64) {
 	return lo, lo + width
 }
 
+// HistogramBucket is one occupied bucket of a summarized distribution:
+// samples v with Lo <= v < Hi. Buckets from the same histogram layout
+// align by their bounds, which is what makes interval subtraction and
+// Prometheus cumulative rendering possible downstream.
+type HistogramBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"n"`
+}
+
 // HistogramStats is a summarized distribution.
 type HistogramStats struct {
 	Count uint64  `json:"count"`
@@ -79,6 +89,10 @@ type HistogramStats struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Buckets holds the occupied buckets in ascending bound order, so a
+	// snapshot carries the full (log-scaled) distribution, not just three
+	// pre-picked quantiles.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
 // Stats summarizes the histogram. Quantiles are bucket-midpoint
@@ -97,7 +111,52 @@ func (h *Histogram) Stats() HistogramStats {
 	s.P50 = h.Quantile(0.50)
 	s.P95 = h.Quantile(0.95)
 	s.P99 = h.Quantile(0.99)
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n != 0 {
+			lo, hi := histBucketBounds(i)
+			s.Buckets = append(s.Buckets, HistogramBucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
 	return s
+}
+
+// Quantile estimates the q-quantile of the summarized distribution from
+// its buckets, clamped to [Min, Max]. It is the bucket-walk of
+// Histogram.Quantile replayed over a snapshot — in particular over an
+// interval delta produced by Snapshot.Sub, where the live histogram's
+// cumulative quantiles would be wrong.
+func (s HistogramStats) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= target {
+			est := float64(b.Lo)
+			if b.Hi-b.Lo > 1 {
+				est += float64(b.Hi-b.Lo) / 2
+			}
+			if est < float64(s.Min) {
+				est = float64(s.Min)
+			}
+			if est > float64(s.Max) {
+				est = float64(s.Max)
+			}
+			return est
+		}
+	}
+	return float64(s.Max)
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) from the buckets,

@@ -1,27 +1,64 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// StartDebugServer serves expvar, pprof, and a JSON snapshot of reg on
-// addr (e.g. "localhost:6060"):
+// DebugServer is a running debug endpoint. Close it on shutdown so the
+// listener and serving goroutine are released; the old API leaked both
+// for the life of the process.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with port 0).
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close shuts the server down, closing the listener and waiting briefly
+// for in-flight requests. Safe on a nil server; idempotent.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	// Close the listener directly: Shutdown only closes listeners Serve
+	// has already registered, and Close may run before the serving
+	// goroutine gets that far.
+	_ = d.ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// StartDebugServer serves expvar, pprof, Prometheus metrics, and a JSON
+// snapshot of reg on addr (e.g. "localhost:6060"):
 //
 //	/debug/vars     expvar
 //	/debug/metrics  registry snapshot as JSON
+//	/metrics        registry snapshot in Prometheus text format
 //	/debug/pprof/   pprof index, profile, trace, symbol, cmdline
 //
 // The listener is bound synchronously so configuration errors surface
-// immediately; serving happens in a background goroutine for the life of
-// the process. The bound address is returned (useful with port 0).
-func StartDebugServer(addr string, reg *Registry) (string, error) {
+// immediately; serving happens in a background goroutine until the
+// returned handle is closed.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -33,11 +70,13 @@ func StartDebugServer(addr string, reg *Registry) (string, error) {
 		}
 		json.NewEncoder(w).Encode(snap)
 	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux)
-	return ln.Addr().String(), nil
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
 }

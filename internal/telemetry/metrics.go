@@ -172,9 +172,13 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Sub returns the interval delta s - earlier. Counter deltas saturate at
 // zero (a counter missing from earlier, or reset between snapshots, never
-// produces a wrapped value). Gauges and histogram distribution statistics
-// are point-in-time quantities, so the later snapshot's values are kept;
-// histogram Count and Sum are differenced.
+// produces a wrapped value). Gauges are point-in-time quantities, so the
+// later snapshot's values are kept. Histograms are differenced per bucket
+// (saturating), and Count, Sum, Mean, and the quantiles are recomputed
+// from the delta buckets, so the interval's P50/P95/P99 describe only the
+// samples observed between the two snapshots. Min and Max cannot be
+// differenced from bucket data; the delta keeps the interval's bucket
+// bounds instead (first delta bucket's Lo, last one's Hi).
 func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	out := Snapshot{
 		Counters:   make(map[string]uint64, len(s.Counters)),
@@ -188,12 +192,40 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		out.Gauges[name] = v
 	}
 	for name, h := range s.Histograms {
-		e := earlier.Histograms[name]
-		h.Count = satSub(h.Count, e.Count)
-		h.Sum = satSub(h.Sum, e.Sum)
-		out.Histograms[name] = h
+		out.Histograms[name] = subHistogram(h, earlier.Histograms[name])
 	}
 	return out
+}
+
+// subHistogram computes the per-bucket interval delta h - e and
+// re-derives the summary statistics from it.
+func subHistogram(h, e HistogramStats) HistogramStats {
+	// Earlier bucket counts keyed by lower bound: the layout is fixed, so
+	// equal Lo means the same bucket.
+	prev := make(map[uint64]uint64, len(e.Buckets))
+	for _, b := range e.Buckets {
+		prev[b.Lo] = b.Count
+	}
+	var d HistogramStats
+	for _, b := range h.Buckets {
+		b.Count = satSub(b.Count, prev[b.Lo])
+		if b.Count == 0 {
+			continue
+		}
+		d.Buckets = append(d.Buckets, b)
+		d.Count += b.Count
+	}
+	d.Sum = satSub(h.Sum, e.Sum)
+	if d.Count == 0 {
+		return d
+	}
+	d.Min = d.Buckets[0].Lo
+	d.Max = d.Buckets[len(d.Buckets)-1].Hi - 1
+	d.Mean = float64(d.Sum) / float64(d.Count)
+	d.P50 = d.Quantile(0.50)
+	d.P95 = d.Quantile(0.95)
+	d.P99 = d.Quantile(0.99)
+	return d
 }
 
 // satSub returns a-b, clamped at zero.

@@ -1,0 +1,523 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- Prometheus exposition ---
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(7)
+	reg.Gauge("queue.depth").Set(3.5)
+	h := reg.Histogram("serve.latency_ns")
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests 7\n",
+		"# TYPE queue_depth gauge\nqueue_depth 3.5\n",
+		"# TYPE serve_latency_ns histogram\n",
+		"serve_latency_ns_bucket{le=\"+Inf\"} 100\n",
+		"serve_latency_ns_sum 5050\n",
+		"serve_latency_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusBucketsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(100)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts must be cumulative and end at the total.
+	var last uint64
+	lines := strings.Split(buf.String(), "\n")
+	prev := uint64(0)
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "lat_bucket{") {
+			continue
+		}
+		var v uint64
+		if _, err := fmtSscanBucket(ln, &v); err != nil {
+			t.Fatalf("parsing %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", ln, prev)
+		}
+		prev, last = v, v
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+// fmtSscanBucket extracts the sample value from a `name{le="..."} v` line.
+func fmtSscanBucket(line string, v *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = parseUint(line[i+1:])
+	return 1, err
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, os.ErrInvalid
+		}
+		v = v*10 + uint64(r-'0')
+	}
+	return v, nil
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.latency_ns": "serve_latency_ns",
+		"droplet.nvbm:rd":  "droplet_nvbm:rd",
+		"9lives":           "_lives",
+		"a.b-c/d":          "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	rr := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "x 1") {
+		t.Fatalf("body missing sample:\n%s", rr.Body.String())
+	}
+	// Nil registry serves an empty exposition, not a panic.
+	rr = httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("nil registry status = %d", rr.Code)
+	}
+}
+
+// --- Snapshot.Sub histogram deltas ---
+
+func TestSnapshotSubHistogramDeltas(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	// Interval 1: 100 small samples.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	before := reg.Snapshot()
+	// Interval 2: 100 large samples.
+	for i := 0; i < 100; i++ {
+		h.Observe(100_000)
+	}
+	delta := reg.Snapshot().Sub(before)
+	d := delta.Histograms["lat"]
+	if d.Count != 100 {
+		t.Fatalf("delta Count = %d, want 100", d.Count)
+	}
+	if d.Sum != 100*100_000 {
+		t.Fatalf("delta Sum = %d, want %d", d.Sum, 100*100_000)
+	}
+	// The interval quantiles must describe ONLY the second interval's
+	// samples: p50 near 100000, not dragged down by the first interval's
+	// 100 samples at 10. The histogram's relative error is 12.5%.
+	if d.P50 < 80_000 || d.P50 > 120_000 {
+		t.Fatalf("delta P50 = %g, want ~100000 (interval-only quantile)", d.P50)
+	}
+	// The cumulative stats, by contrast, blend both intervals.
+	cum := reg.Snapshot().Histograms["lat"]
+	if cum.P50 > 80_000 {
+		t.Fatalf("cumulative P50 = %g unexpectedly high", cum.P50)
+	}
+}
+
+func TestSnapshotSubHistogramTable(t *testing.T) {
+	cases := []struct {
+		name           string
+		first, second  []uint64
+		wantCount      uint64
+		wantP50Lo      float64
+		wantP50Hi      float64
+		wantZeroBucket bool // delta should have no buckets at all
+	}{
+		{name: "disjoint ranges", first: []uint64{1, 1, 1}, second: []uint64{1000, 1000, 1000},
+			wantCount: 3, wantP50Lo: 800, wantP50Hi: 1200},
+		{name: "same bucket", first: []uint64{50, 50}, second: []uint64{50},
+			wantCount: 1, wantP50Lo: 40, wantP50Hi: 60},
+		{name: "empty interval", first: []uint64{7, 9}, second: nil,
+			wantCount: 0, wantZeroBucket: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			h := reg.Histogram("h")
+			for _, v := range tc.first {
+				h.Observe(v)
+			}
+			before := reg.Snapshot()
+			for _, v := range tc.second {
+				h.Observe(v)
+			}
+			d := reg.Snapshot().Sub(before).Histograms["h"]
+			if d.Count != tc.wantCount {
+				t.Fatalf("Count = %d, want %d", d.Count, tc.wantCount)
+			}
+			if tc.wantZeroBucket {
+				if len(d.Buckets) != 0 {
+					t.Fatalf("empty interval has %d buckets", len(d.Buckets))
+				}
+				return
+			}
+			if d.P50 < tc.wantP50Lo || d.P50 > tc.wantP50Hi {
+				t.Fatalf("P50 = %g, want in [%g, %g]", d.P50, tc.wantP50Lo, tc.wantP50Hi)
+			}
+		})
+	}
+}
+
+func TestHistogramStatsQuantileFromBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := reg.Snapshot().Histograms["h"]
+	// Snapshot-side quantile replay must agree with the live quantile
+	// within the histogram's resolution.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		want := 1000 * q
+		if got < want*0.8 || got > want*1.25 {
+			t.Errorf("Quantile(%g) = %g, want ~%g", q, got, want)
+		}
+	}
+	if (HistogramStats{}).Quantile(0.5) != 0 {
+		t.Error("empty stats quantile should be 0")
+	}
+}
+
+// --- Flight recorder ---
+
+func TestFlightRecorderOrderAndWraparound(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		fr.Record(FlightEvent{Kind: "e", Value: uint64(i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(13+i) {
+			t.Fatalf("event %d has Seq %d, want %d (oldest-first ring tail)", i, ev.Seq, 13+i)
+		}
+		if ev.Value != uint64(12+i) {
+			t.Fatalf("event %d has Value %d, want %d", i, ev.Value, 12+i)
+		}
+	}
+	if fr.Recorded() != 20 {
+		t.Fatalf("Recorded() = %d, want 20", fr.Recorded())
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record(FlightEvent{Kind: "k", Step: uint64(g), Value: uint64(i)})
+			}
+		}(g)
+	}
+	// Concurrent readers must never see duplicates or out-of-order events.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			evs := fr.Events()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("events out of order: Seq %d after %d", evs[j].Seq, evs[j-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if fr.Recorded() != 4000 {
+		t.Fatalf("Recorded() = %d, want 4000", fr.Recorded())
+	}
+	if n := len(fr.Events()); n != 128 {
+		t.Fatalf("retained %d, want 128", n)
+	}
+}
+
+func TestFlightRecorderJSONLRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record(FlightEvent{Kind: "commit", Step: 3, Value: 0xabc, Detail: "d"})
+	fr.Record(FlightEvent{Kind: "gc", Step: 3, Value: 17})
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	if err := fr.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("read %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != "commit" || evs[0].Step != 3 || evs[0].Value != 0xabc || evs[0].Detail != "d" {
+		t.Fatalf("round-trip mangled event: %+v", evs[0])
+	}
+	if evs[1].Kind != "gc" || evs[1].Value != 17 {
+		t.Fatalf("round-trip mangled event: %+v", evs[1])
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(FlightEvent{Kind: "x"})
+	if fr.Events() != nil || fr.Recorded() != 0 {
+		t.Fatal("nil recorder should be empty")
+	}
+	if err := fr.DumpFile("/nonexistent/should/not/be/written"); err != nil {
+		t.Fatal("nil DumpFile should be a no-op")
+	}
+	fr.DumpOnSignal("x")()
+}
+
+// --- Request tracing ---
+
+func TestTraceContextAccountingIdentity(t *testing.T) {
+	sink := NewTraceSink(8)
+	tc := sink.Start("point")
+	sp := tc.StartSpan("queue_wait")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp = tc.StartSpan("leaf_scan")
+	time.Sleep(time.Millisecond)
+	sp.AddModeled(12345)
+	sp.End()
+	tc.SetStep(42)
+	tc.Finish()
+	tc.Finish() // idempotent
+
+	if sink.Total() != 1 {
+		t.Fatalf("sink Total = %d, want 1", sink.Total())
+	}
+	rt, ok := sink.Get(tc.ID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if rt.Kind != "point" || rt.Step != 42 {
+		t.Fatalf("trace = %+v", rt)
+	}
+	if len(rt.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(rt.Spans))
+	}
+	if rt.Spans[1].ModeledNs != 12345 {
+		t.Fatalf("modeled ns = %d", rt.Spans[1].ModeledNs)
+	}
+	var spanSum int64
+	for _, sp := range rt.Spans {
+		spanSum += sp.DurNs
+	}
+	// The accounting identity: span sum + overhead == total, exactly.
+	if spanSum+rt.OverheadNs != rt.TotalNs {
+		t.Fatalf("spans(%d) + overhead(%d) != total(%d)", spanSum, rt.OverheadNs, rt.TotalNs)
+	}
+	if rt.OverheadNs < 0 {
+		t.Fatalf("negative overhead %d with sequential spans", rt.OverheadNs)
+	}
+}
+
+func TestTraceSinkRingAndRecent(t *testing.T) {
+	sink := NewTraceSink(4)
+	for i := 0; i < 6; i++ {
+		sink.Start("q").Finish()
+	}
+	rec := sink.Recent(0)
+	if len(rec) != 4 {
+		t.Fatalf("retained %d, want 4", len(rec))
+	}
+	for i := 1; i < len(rec); i++ {
+		if rec[i].ID <= rec[i-1].ID {
+			t.Fatalf("Recent not oldest-first: %d after %d", rec[i].ID, rec[i-1].ID)
+		}
+	}
+	if got := sink.Recent(2); len(got) != 2 || got[1].ID != rec[3].ID {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	if _, ok := sink.Get(rec[0].ID - 100); ok {
+		t.Fatal("Get of evicted/unknown ID should miss")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var sink *TraceSink
+	tc := sink.Start("x")
+	if tc != nil {
+		t.Fatal("nil sink must mint nil contexts")
+	}
+	tc.SetStep(1)
+	tc.SetError(os.ErrInvalid)
+	tc.AddSpan("s", time.Now(), 0)
+	sp := tc.StartSpan("s")
+	sp.AddModeled(1)
+	sp.End()
+	tc.Finish()
+	if sink.Total() != 0 || sink.Recent(1) != nil {
+		t.Fatal("nil sink should be empty")
+	}
+}
+
+func TestTraceSinkChromeExport(t *testing.T) {
+	sink := NewTraceSink(8)
+	tc := sink.Start("region")
+	tc.StartSpan("leaf_scan").End()
+	tc.Finish()
+	var buf bytes.Buffer
+	if err := sink.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if n, _ := ev["name"].(string); n != "" {
+			names[n] = true
+		}
+	}
+	if !names["region"] || !names["leaf_scan"] {
+		t.Fatalf("chrome trace missing request/phase events: %v", names)
+	}
+}
+
+// --- Health ---
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	// Not ready yet: readyz 503, healthz 200.
+	rr := httptest.NewRecorder()
+	h.ReadyzHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("unready readyz = %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.HealthzHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("healthz = %d", rr.Code)
+	}
+
+	h.SetReady(true)
+	rr = httptest.NewRecorder()
+	h.ReadyzHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("ready readyz = %d", rr.Code)
+	}
+
+	// Degraded states show in the body but keep healthz at 200.
+	h.Degrade("saturation", "sustained rejections")
+	st := h.Status()
+	if st.Status != "degraded" || st.Degraded["saturation"] == "" {
+		t.Fatalf("degraded status = %+v", st)
+	}
+	rr = httptest.NewRecorder()
+	h.HealthzHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "saturation") {
+		t.Fatalf("degraded healthz = %d body %s", rr.Code, rr.Body.String())
+	}
+	h.Clear("saturation")
+	if h.Status().Status != "ok" {
+		t.Fatalf("cleared status = %+v", h.Status())
+	}
+
+	// A failing readiness check flips readyz to 503 even when ready.
+	h.AddCheck("catalog", func() error { return os.ErrClosed })
+	rr = httptest.NewRecorder()
+	h.ReadyzHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 503 || !strings.Contains(rr.Body.String(), "catalog") {
+		t.Fatalf("failing-check readyz = %d body %s", rr.Code, rr.Body.String())
+	}
+
+	// Nil receiver is fully inert.
+	var nh *Health
+	nh.SetReady(true)
+	nh.Degrade("x", "y")
+	nh.Clear("x")
+	nh.AddCheck("c", func() error { return nil })
+	if s := nh.Status(); !s.Ready || s.Status != "ok" {
+		t.Fatalf("nil health status = %+v", s)
+	}
+}
+
+// --- Debug server handle ---
+
+func TestDebugServerClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	d, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must actually be released: a second server can bind it.
+	d2, err := StartDebugServer(addr, reg)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	defer d2.Close()
+	var nd *DebugServer
+	if nd.Addr() != "" || nd.Close() != nil {
+		t.Fatal("nil DebugServer should be inert")
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) over a registry snapshot, so
+// any scraper can pull the same counters, gauges, and histograms the JSON
+// endpoints expose, with no third-party client library.
+//
+// Name mapping: metric names in this package are dotted
+// ("serve.latency_ns"); Prometheus names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]*, so every illegal rune becomes '_'
+// ("serve_latency_ns"). Histograms render the conventional triplet:
+// cumulative `_bucket{le="..."}` series (one per occupied bucket bound,
+// plus `+Inf`), `_sum`, and `_count`. Bucket bounds are the histogram's
+// exclusive upper bounds; since samples are integers, v < Hi implies
+// v <= Hi, so the cumulative counts are exact for le = Hi.
+
+// WritePrometheus renders one registry snapshot in Prometheus text
+// format. Metrics are emitted in sorted name order so output is stable
+// and diffable.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", p, b.Hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			p, h.Count, p, h.Sum, p, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// MetricsHandler serves reg as Prometheus text on GET. A nil registry
+// serves an empty exposition.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = WritePrometheus(w, reg.Snapshot())
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing. Where Tracer/Span decompose one simulation
+// rank's timeline into phases, TraceContext decomposes one served request
+// into the places its latency went: queue wait in the scheduler, index
+// build and leaf scan in the snapshot query, modeled device reads in the
+// pinned-version charge path, and whatever is left — handler overhead —
+// derived at Finish so the span sum plus overhead equals the end-to-end
+// latency exactly (the accounting identity the serve soak asserts).
+//
+// A TraceContext is carried explicitly down the request path (handler ->
+// scheduler -> snapshot -> pin). Every method on a nil *TraceContext or
+// nil *TraceSink is a no-op, so untraced callers pay one pointer test.
+
+// SpanRecord is one completed phase of a request. Offsets are nanoseconds
+// from the request start.
+type SpanRecord struct {
+	Name      string `json:"name"`
+	StartNs   int64  `json:"start_ns"`
+	DurNs     int64  `json:"dur_ns"`
+	ModeledNs uint64 `json:"modeled_ns,omitempty"` // modeled device time attributed to the phase
+}
+
+// RequestTrace is one finished request. StartNs is on the sink clock
+// (nanoseconds since the sink was created); span offsets are relative to
+// the request.
+type RequestTrace struct {
+	ID         uint64       `json:"id"`
+	Kind       string       `json:"kind"`
+	Step       uint64       `json:"step,omitempty"`
+	Err        string       `json:"error,omitempty"`
+	StartNs    int64        `json:"start_ns"`
+	TotalNs    int64        `json:"total_ns"`
+	OverheadNs int64        `json:"overhead_ns"` // TotalNs minus the span durations
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// TraceSink mints trace contexts and retains the most recent finished
+// traces in a bounded ring for the /v1/trace endpoint and the Chrome
+// trace export.
+type TraceSink struct {
+	begin  time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []RequestTrace
+	next  int // ring write cursor
+	total uint64
+}
+
+// NewTraceSink returns a sink retaining the last capacity finished traces
+// (default 256 when capacity <= 0).
+func NewTraceSink(capacity int) *TraceSink {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceSink{begin: time.Now(), ring: make([]RequestTrace, 0, capacity)}
+}
+
+// Start opens a trace context for one request of the given kind (the
+// query class: "point", "region", ...). Nil-safe: a nil sink returns a
+// nil context.
+func (s *TraceSink) Start(kind string) *TraceContext {
+	if s == nil {
+		return nil
+	}
+	return &TraceContext{
+		sink: s,
+		id:   s.nextID.Add(1),
+		kind: kind,
+		t0:   time.Now(),
+	}
+}
+
+// finish stores one completed trace in the ring.
+func (s *TraceSink) finish(rt RequestTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, rt)
+	} else {
+		s.ring[s.next] = rt
+		s.next = (s.next + 1) % len(s.ring)
+	}
+	s.total++
+}
+
+// Total returns the number of traces finished into the sink so far.
+func (s *TraceSink) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Recent returns up to max finished traces, oldest first. max <= 0 means
+// everything retained.
+func (s *TraceSink) Recent(max int) []RequestTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RequestTrace, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID.
+func (s *TraceSink) Get(id uint64) (RequestTrace, bool) {
+	if s == nil {
+		return RequestTrace{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ring {
+		if s.ring[i].ID == id {
+			return s.ring[i], true
+		}
+	}
+	return RequestTrace{}, false
+}
+
+// traceLanes spreads concurrent requests over this many Chrome-trace
+// rows so overlapping requests do not render as nested spans.
+const traceLanes = 16
+
+// Events converts the retained traces into span events for
+// WriteChromeTrace. Each request renders as a lane-assigned "thread"
+// (lane = ID mod 16): an enclosing span named after the query kind at
+// depth 0, its phases at depth 1.
+func (s *TraceSink) Events() []Event {
+	var out []Event
+	for _, rt := range s.Recent(0) {
+		lane := int(rt.ID % traceLanes)
+		out = append(out, Event{
+			Name:    rt.Kind,
+			Rank:    lane,
+			Depth:   0,
+			Step:    rt.Step,
+			StartNs: rt.StartNs,
+			DurNs:   rt.TotalNs,
+		})
+		for _, sp := range rt.Spans {
+			out = append(out, Event{
+				Name:      sp.Name,
+				Rank:      lane,
+				Depth:     1,
+				Step:      rt.Step,
+				StartNs:   rt.StartNs + sp.StartNs,
+				DurNs:     sp.DurNs,
+				ModeledNs: sp.ModeledNs,
+			})
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace renders the retained request traces through the
+// standard Chrome trace_event writer.
+func (s *TraceSink) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, s.Events())
+}
+
+// TraceContext carries one in-flight request's trace. Spans are appended
+// by whichever goroutine currently owns the request (handler, then a
+// scheduler worker, then the handler again); the mutex makes interleaved
+// observers safe too.
+type TraceContext struct {
+	sink *TraceSink
+	id   uint64
+	kind string
+	t0   time.Time
+
+	mu       sync.Mutex
+	step     uint64
+	errStr   string
+	spans    []SpanRecord
+	finished bool
+}
+
+// ID returns the trace's sink-unique ID (0 on a nil context).
+func (tc *TraceContext) ID() uint64 {
+	if tc == nil {
+		return 0
+	}
+	return tc.id
+}
+
+// SetStep tags the trace with the snapshot version it was answered from.
+func (tc *TraceContext) SetStep(step uint64) {
+	if tc == nil {
+		return
+	}
+	tc.mu.Lock()
+	tc.step = step
+	tc.mu.Unlock()
+}
+
+// SetError records the request's terminal error string.
+func (tc *TraceContext) SetError(err error) {
+	if tc == nil || err == nil {
+		return
+	}
+	tc.mu.Lock()
+	tc.errStr = err.Error()
+	tc.mu.Unlock()
+}
+
+// AddSpan records a phase that began at start and ends now, attributing
+// modeledNs of modeled device time to it. Used where the phase boundary
+// is a timestamp the caller already holds (the scheduler's enqueue time).
+func (tc *TraceContext) AddSpan(name string, start time.Time, modeledNs uint64) {
+	if tc == nil {
+		return
+	}
+	tc.mu.Lock()
+	tc.spans = append(tc.spans, SpanRecord{
+		Name:      name,
+		StartNs:   start.Sub(tc.t0).Nanoseconds(),
+		DurNs:     time.Since(start).Nanoseconds(),
+		ModeledNs: modeledNs,
+	})
+	tc.mu.Unlock()
+}
+
+// StartSpan opens a phase; close it with End. Phases are expected to be
+// sequential within a request (they are the disjoint places latency
+// went), which is what keeps the Finish accounting identity meaningful.
+func (tc *TraceContext) StartSpan(name string) *CtxSpan {
+	if tc == nil {
+		return nil
+	}
+	return &CtxSpan{tc: tc, name: name, start: time.Now()}
+}
+
+// CtxSpan is one open request phase.
+type CtxSpan struct {
+	tc      *TraceContext
+	name    string
+	start   time.Time
+	modeled uint64
+}
+
+// AddModeled attributes modeled device nanoseconds to the phase.
+func (s *CtxSpan) AddModeled(ns uint64) {
+	if s == nil {
+		return
+	}
+	s.modeled += ns
+}
+
+// End closes the phase. Safe on a nil span.
+func (s *CtxSpan) End() {
+	if s == nil {
+		return
+	}
+	s.tc.AddSpan(s.name, s.start, s.modeled)
+}
+
+// Finish closes the trace: the end-to-end latency is measured, overhead
+// is derived as total minus the recorded span durations, and the trace is
+// stored in the sink. Idempotent; safe on a nil context.
+func (tc *TraceContext) Finish() {
+	if tc == nil {
+		return
+	}
+	total := time.Since(tc.t0).Nanoseconds()
+	tc.mu.Lock()
+	if tc.finished {
+		tc.mu.Unlock()
+		return
+	}
+	tc.finished = true
+	rt := RequestTrace{
+		ID:      tc.id,
+		Kind:    tc.kind,
+		Step:    tc.step,
+		Err:     tc.errStr,
+		StartNs: tc.t0.Sub(tc.sink.begin).Nanoseconds(),
+		TotalNs: total,
+		Spans:   append([]SpanRecord(nil), tc.spans...),
+	}
+	tc.mu.Unlock()
+	var spanSum int64
+	for _, sp := range rt.Spans {
+		spanSum += sp.DurNs
+	}
+	rt.OverheadNs = total - spanSum
+	tc.sink.finish(rt)
+}
