@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"pmoctree"
 	"pmoctree/internal/cluster"
@@ -326,6 +327,62 @@ func BenchmarkPersist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.Step(tree, d, i+1, 4)
 		tree.Persist()
+	}
+}
+
+// --- Pipelined commit: sync vs async vs group commit ---
+
+// BenchmarkStepPipelined steps the droplet workload to the same
+// committed-version count under each persistence mode, with the modeled
+// NVBM latency injected as real delay so writeback cost is wall-clock
+// visible. ns/op is the whole run (steps + persists + the final Flush, so
+// async modes pay for full durability); persist-ns/step is the share the
+// stepping thread spends inside Persist — the commit path the pipeline
+// exists to shorten. Async must come in below sync on both.
+func BenchmarkStepPipelined(b *testing.B) {
+	modes := []struct {
+		name         string
+		depth, group int
+	}{
+		{"sync", 0, 0},
+		{"async-k1", 3, 1},
+		{"async-k2", 3, 2},
+		{"async-k4", 3, 4},
+	}
+	const steps = 8
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var persistNs int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev := nvbm.New(nvbm.NVBM, 0)
+				dev.SetDelayInjection(true)
+				tree := core.Create(core.Config{
+					NVBMDevice:          dev,
+					DRAMDevice:          nvbm.New(nvbm.DRAM, 0),
+					DRAMBudgetOctants:   2048,
+					CacheCommittedReads: true,
+					PipelineDepth:       m.depth,
+					GroupCommit:         m.group,
+					Seed:                9,
+				})
+				d := sim.NewDroplet(sim.DropletConfig{Steps: steps + 10})
+				tree.SetFeatures(d.Feature(1))
+				b.StartTimer()
+				for s := 1; s <= steps; s++ {
+					sim.Step(tree, d, s, 4)
+					tree.SetFeatures(d.Feature(s + 1))
+					p0 := time.Now()
+					tree.Persist()
+					persistNs += time.Since(p0).Nanoseconds()
+				}
+				tree.Flush()
+				b.StopTimer()
+				tree.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(persistNs)/float64(b.N*steps), "persist-ns/step")
+		})
 	}
 }
 

@@ -15,6 +15,11 @@
 // shipping, recovering every crash through scrub, multi-version fallback,
 // and replica failover, and exits nonzero if any recovery lands on a
 // state that was never committed.
+//
+// -pipeline <n> moves persistence off the step's critical path: up to n
+// commits ride a background persist worker, with -groupcommit coalescing
+// adjacent step deltas into one durable commit. -chaospipeline <seed>
+// soaks that pipeline under power cuts at every stage.
 package main
 
 import (
@@ -49,8 +54,43 @@ func main() {
 		chaosQuery  = flag.Int("chaosreaders", 0, "with -chaos: run this many concurrent MVCC snapshot readers against pinned versions during the soak")
 		chaosFlight = flag.String("chaosflight", "", "with -chaos: write the soak's flight-recorder ring (commits, crashes, restores, scrubs) as JSONL to `file`")
 		cacheReads  = flag.Bool("cachecommitted", false, "let the decoded-octant cache skip device reads of committed octants (simulation state is identical; modeled NVBM read counts drop, so leave off when reproducing the paper's figures)")
+		pipeline    = flag.Int("pipeline", 0, "persist versions asynchronously, allowing up to `n` commits in flight (0 = synchronous; at most 3 minus -retain)")
+		groupCommit = flag.Int("groupcommit", 1, "with -pipeline: coalesce up to `k` step deltas into one durable commit")
+		chaosPipe   = flag.Int64("chaospipeline", 0, "run the pipelined chaos soak with this `seed` (nonzero): power cuts at every persist-pipeline stage, recovery checked against the enqueued-version history")
 	)
 	flag.Parse()
+
+	if *chaosPipe != 0 {
+		var fr *telemetry.FlightRecorder
+		if *chaosFlight != "" {
+			fr = telemetry.NewFlightRecorder(4096)
+		}
+		depth := *pipeline
+		if depth <= 0 {
+			depth = 3
+		}
+		rep, err := fault.RunPipeline(fault.PipelineChaosConfig{
+			Seed:          *chaosPipe,
+			Steps:         *steps,
+			MaxLevel:      uint8(*maxLevel),
+			DRAMBudget:    *budget,
+			PipelineDepth: depth,
+			GroupCommit:   *groupCommit,
+			Recorder:      fr,
+		})
+		if *chaosFlight != "" {
+			if derr := fr.DumpFile(*chaosFlight); derr != nil {
+				fmt.Fprintf(os.Stderr, "droplet: flight dump: %v\n", derr)
+			}
+		}
+		fmt.Print(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "droplet: pipelined chaos run FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("pipelined chaos run passed: every crash recovered to an enqueued version")
+		return
+	}
 
 	if *chaosSeed != 0 {
 		var qs fault.QueryStats
@@ -94,6 +134,8 @@ func main() {
 		DRAMBudgetOctants:   *budget,
 		CacheCommittedReads: *cacheReads,
 		RetainVersions:      *retain,
+		PipelineDepth:       *pipeline,
+		GroupCommit:         *groupCommit,
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "droplet: %v\n", err)
@@ -176,6 +218,9 @@ func main() {
 			tuner.Observe(tree)
 		}
 	}
+	// Durability barrier: with -pipeline, commits may still be in flight on
+	// the persist worker; the image and final stats must see them landed.
+	tree.Flush()
 	w.Flush()
 
 	if *tracePath != "" {
@@ -198,6 +243,11 @@ func main() {
 	fmt.Printf("octree ops: %d refines, %d coarsens, %d COW copies, %d merges, %d GC passes (%d freed), %d transforms\n",
 		st.Refines, st.Coarsens, st.Copies, st.Merges, st.GCs, st.GCFreed, st.Transforms)
 	fmt.Printf("NVBM: %v; wear imbalance %.2f\n", nv.Stats(), nv.Wear().WearImbalance())
+	if *pipeline > 0 {
+		ps := tree.PipelineStats()
+		fmt.Printf("pipeline: %d enqueued, %d commits (%d coalesced), %d stalls\n",
+			ps.Enqueued, ps.Committed, ps.Coalesced, ps.Stalls)
+	}
 	if tuner != nil {
 		fmt.Printf("autotune: %d adjustments, final C0 budget %d octants (peak util %.0f%%)\n",
 			tuner.Adjustments, tree.DRAMBudget(), tree.LastPeakDRAMUtilization()*100)

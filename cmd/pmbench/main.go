@@ -14,6 +14,7 @@
 //	pmbench recovery   restart time after failures (§5.6)
 //	pmbench endurance  NVBM wear and lifetime, layout on/off (extension)
 //	pmbench workloads  the three motivating workloads on PM-octree (extension)
+//	pmbench pipeline   sync vs async pipelined persistence, group commit (extension)
 //	pmbench all        everything above
 //
 // -paper selects the larger configuration (minutes, closer to the paper's
@@ -71,7 +72,7 @@ func main() {
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = []string{"table2", "writemix", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "recovery", "endurance", "workloads"}
+		ids = []string{"table2", "writemix", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "recovery", "endurance", "workloads", "pipeline"}
 	}
 	results := map[string]any{}
 	for _, id := range ids {
@@ -180,6 +181,9 @@ func run(id string, sc experiments.Scale, obs *telemetry.Observer) (string, any,
 	case "endurance":
 		rows := experiments.Endurance(sc, obs)
 		return experiments.FormatEndurance(rows), rows, nil
+	case "pipeline":
+		rows := experiments.Pipeline(sc, obs)
+		return experiments.FormatPipeline(rows), rows, nil
 	case "recovery":
 		rows, err := experiments.Recovery(sc, obs)
 		if err != nil {
@@ -194,6 +198,6 @@ func run(id string, sc experiments.Scale, obs *telemetry.Observer) (string, any,
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: pmbench [-paper|-titan] [-json] [-trace=file] [-metrics=file] <experiment>...
 
-experiments: table2 writemix fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 recovery endurance workloads all
+experiments: table2 writemix fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 recovery endurance workloads pipeline all
 `)
 }

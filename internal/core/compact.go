@@ -20,6 +20,11 @@ import (
 // points at the new region.
 func (t *Tree) Compact() (retired *nvbm.Device, err error) {
 	defer t.span("Compact").End()
+	// Compaction swaps the arena wholesale: drain in-flight commits first
+	// so the persist worker never stores into the retired region after
+	// the swap (and so the compacted copy reads fully written-back
+	// records).
+	t.Flush()
 	if t.cur != t.committed {
 		return nil, fmt.Errorf("core: compaction requires a committed state; call Persist first")
 	}
@@ -64,6 +69,14 @@ func (t *Tree) Compact() (retired *nvbm.Device, err error) {
 	t.nv = newArena
 	t.committed = newRoot
 	t.cur = newRoot
+	if t.pipe != nil {
+		// The durable watermark lives in the new region now; the queue is
+		// empty (flushed above), so this is a plain repoint. The fresh
+		// arena was built with eager bits (the copy above is its durable
+		// baseline); re-enter deferred mode for the pipeline.
+		t.pipe.rebindDurable(newRoot, t.step-1)
+		newArena.SetDeferredBits(true)
+	}
 	// Every NVBM ref changed identity; drop all derived host-side state.
 	t.cacheInvalidateAll()
 	t.invalidateLeafIndex()

@@ -79,17 +79,39 @@ func (t *Tree) markRetained(marked []uint64) {
 	if k <= 0 {
 		return
 	}
+	// Snapshot the ring entries first (under rootMu when the persist
+	// worker may be pushing entries concurrently), then mark outside the
+	// lock — marking walks whole versions and must not stall commits.
+	type entry struct {
+		root Ref
+		step uint64
+	}
+	var ring [histSlots]entry
+	unlock := t.lockRootTable()
 	for i := 0; i < histSlots; i++ {
-		root := Ref(t.nv.Root(histAddrSlot(i)))
-		step := t.nv.Root(histStepSlot(i))
-		if root.IsNil() || root.InDRAM() {
+		ring[i] = entry{Ref(t.nv.Root(histAddrSlot(i))), t.nv.Root(histStepSlot(i))}
+	}
+	unlock()
+	for _, e := range ring {
+		if e.root.IsNil() || e.root.InDRAM() {
 			continue
 		}
-		if step+uint64(k) < t.committedStep {
+		if e.step+uint64(k) < t.committedStep {
 			continue // aged out of the retention window
 		}
-		t.markGuarded(root, marked)
+		t.markGuarded(e.root, marked)
 	}
+}
+
+// lockRootTable serializes a mutator-side root-table read sequence
+// against the persist worker's ring pushes and commit flips. With the
+// pipeline off there is no second writer and the lock is free.
+func (t *Tree) lockRootTable() func() {
+	if t.pipe == nil {
+		return func() {}
+	}
+	t.pipe.rootMu.Lock()
+	return t.pipe.rootMu.Unlock
 }
 
 // markGuarded marks reachable NVBM slots like markStack, but tolerates
@@ -114,7 +136,10 @@ func (t *Tree) markGuarded(r Ref, marked []uint64) {
 		}
 		marked[idx/64] |= 1 << (idx % 64)
 		var o Octant
-		t.nv.Read(h, t.scratch[:])
+		// Pending-aware: an in-flight version's staged records have not
+		// reached the device yet (chargedRead serves them from the
+		// pipeline's pending set with identical modeled cost).
+		t.chargedRead(r, t.scratch[:])
 		o.decode(t.scratch[:])
 		for _, c := range o.Children {
 			stack = append(stack, c)
@@ -234,6 +259,7 @@ func RestoreWithReport(cfg Config) (t *Tree, rep RestoreReport, err error) {
 			t.nv.SetRoot(rootSlotAddr, uint64(c.root))
 			t.nv.SetRoot(rootSlotStep, c.step)
 		}
+		t.startPipeline()
 		return t, rep, nil
 	}
 	return nil, rep, fmt.Errorf("core: no intact committed version among %d candidates: %s",

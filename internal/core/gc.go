@@ -33,6 +33,7 @@ func (t *Tree) GC() int {
 		t.markStack(t.cur, marked)
 	}
 	t.markRetained(marked)
+	t.markInflight(marked)
 	t.markPinned(marked)
 	hw := t.nv.HighWater()
 	// The sweep's per-handle bitmap probes, accounted in bulk: one 1-byte
@@ -111,6 +112,21 @@ func (t *Tree) markStack(r Ref, marked []uint64) {
 		}
 	}
 	t.markScratch = stack[:0] // keep the grown capacity for the next pass
+}
+
+// markInflight marks the versions the persist pipeline still needs: the
+// newest DURABLE version (the on-device commit record names it — freeing
+// it would leave the record dangling until the next flip) and every
+// enqueued-but-unflushed version. The host's committed/cur marking alone
+// is not enough, because the pipelined host view runs ahead of
+// durability. No-op when the tree persists synchronously.
+func (t *Tree) markInflight(marked []uint64) {
+	if t.pipe == nil {
+		return
+	}
+	for _, r := range t.pipe.inflightRoots() {
+		t.markGuarded(r, marked)
+	}
 }
 
 // maybeGC triggers an on-demand collection when NVBM utilization crosses

@@ -43,6 +43,14 @@ func (t *Tree) leastAccessedHot() (morton.Code, bool) {
 func (t *Tree) evictSubtree(code morton.Code) {
 	defer t.span("Merge").End()
 	delete(t.hot, code)
+	// The victim's access count dies with its hot-set membership: a
+	// subtree re-entering the hot set must re-earn its frequency, not
+	// inherit the pre-eviction count (which would rank it ahead of
+	// subtrees that earned their accesses since, skewing LFA eviction
+	// order and the TTransform promotion ratio). Post-eviction touches of
+	// the relocated subtree re-create the entry with exactly the
+	// post-eviction signal.
+	delete(t.access, code)
 	nr, _ := t.evictWalkTrunk(t.cur, code)
 	t.cur = nr
 	t.stats.Merges++
@@ -136,10 +144,26 @@ func (t *Tree) moveToNVBMUnder(r, parent Ref, setParent bool) Ref {
 	if setParent {
 		o.Parent = parent
 	}
-	t.writeOct(nr, &o)
+	if pp := t.pipe; pp != nil && pp.staging {
+		t.stageOct(nr, &o)
+	} else {
+		t.writeOct(nr, &o)
+	}
 	t.dram.Free(r.Handle())
 	t.cacheDrop(r) // the DRAM handle is recycled by later allocations
 	return nr
+}
+
+// stageOct is writeOct for a pipelined persist merge: the encoded record
+// joins the pipeline's staging delta instead of being stored (the
+// background worker writes it back, charging the device write then),
+// while the host-side write-through — decoded cache, mutation sequence,
+// access accounting — happens exactly as in writeOct.
+func (t *Tree) stageOct(r Ref, o *Octant) {
+	t.pipe.stageRecord(r.Handle(), o)
+	t.cachePut(r, o)
+	t.noteMutation()
+	t.touch(o.Code)
 }
 
 // Persist commits the working version as the new persistent version
@@ -155,7 +179,17 @@ func (t *Tree) moveToNVBMUnder(r, parent Ref, setParent bool) Ref {
 //     feature-directed sampling (or obliviously when disabled).
 //
 // It returns the number of octants garbage-collected.
+//
+// With Config.PipelineDepth > 0, steps 1-2 are split: the merge stages
+// its delta in host memory and the commit happens on the background
+// persist worker (see pipeline.go); the mutator's committed/step counters
+// advance immediately so step i+1 proceeds exactly as in synchronous
+// mode, and durability trails until the worker's commit-record flip (or
+// an explicit Flush).
 func (t *Tree) Persist() int {
+	if t.pipe != nil {
+		return t.persistAsync()
+	}
 	defer t.span("Persist").End()
 	t.cur = t.moveToNVBM(t.cur)
 	// The outgoing committed version enters the fallback ring before it is
@@ -177,6 +211,42 @@ func (t *Tree) Persist() int {
 	t.flight.Record(telemetry.FlightEvent{Kind: "commit", Step: t.committedStep, Value: uint64(t.committed)})
 	// Commit is an epoch boundary for the decoded-octant cache: the merge
 	// recycled every DRAM handle and the version tags just changed meaning.
+	t.cacheInvalidateAll()
+	t.stats.Persists++
+	freed := 0
+	if t.stats.Persists%t.cfg.GCEvery == 0 {
+		freed = t.GC()
+	}
+	t.retarget()
+	t.access = map[morton.Code]uint64{}
+	t.lastPeakDRAMUtil = t.peakDRAMUtil
+	t.peakDRAMUtil = 0
+	return freed
+}
+
+// persistAsync is Persist over the asynchronous pipeline: stage the merge
+// delta, enqueue it (blocking only when the in-flight window is full),
+// advance the host view of committed, and leave writeback + ring push +
+// commit flip to the persist worker. The logical tree evolution — octant
+// codes, data, the whole digest history — is identical to the synchronous
+// path, because content never depends on WHEN records reach the device;
+// only write timing and GC's view of reclaimable superseded versions
+// differ.
+func (t *Tree) persistAsync() int {
+	defer t.span("Persist").End()
+	p := t.pipe
+	// A worker that died (power cut mid-writeback) surfaces here, where
+	// the synchronous Persist would have hit the same device failure.
+	p.checkFailure()
+	p.beginStage()
+	t.cur = t.moveToNVBM(t.cur)
+	delta := p.endStage()
+	bits, hw := t.nv.TakeDirtyBits(nil)
+	p.enqueue(&commitReq{root: t.cur, step: t.step, delta: delta, nv: t.nv, bits: bits, hw: hw})
+	t.committed = t.cur
+	t.committedStep = t.step
+	t.step++
+	t.flight.Record(telemetry.FlightEvent{Kind: "persist_enqueue", Step: t.committedStep, Value: uint64(t.committed)})
 	t.cacheInvalidateAll()
 	t.stats.Persists++
 	freed := 0

@@ -64,7 +64,10 @@ func (t *Tree) walkRO(r Ref, fn func(Ref, *Octant) bool) bool {
 	}
 	var buf [RecordSize]byte
 	var o Octant
-	t.arenaFor(r).Read(r.Handle(), buf[:])
+	// chargedRead rather than a raw arena read: under the persist
+	// pipeline the committed walk may reach octants still awaiting
+	// writeback, whose truth is the pipeline's pending set.
+	t.chargedRead(r, buf[:])
 	o.decode(buf[:])
 	if !fn(r, &o) {
 		return false

@@ -53,11 +53,22 @@ func (t *Tree) ensurePins() {
 
 // PinCommitted pins the currently committed version V(i-1) and returns the
 // pin holding one reference. Writer thread only.
+//
+// Under the persist pipeline the newest DURABLE version is pinned, not
+// the host's committed view: an enqueued version's octants are not all on
+// the device yet, and pin readers bypass the pipeline's pending set by
+// design (they read from any goroutine, with no claim on pipeline
+// synchronization). Serving therefore always exposes crash-consistent
+// state; Flush first to pin the newest version.
 func (t *Tree) PinCommitted() *VersionPin {
-	if t.committed.IsNil() || t.committed.InDRAM() {
+	root, step := t.committed, t.committedStep
+	if t.pipe != nil {
+		root, step = t.pipe.durable()
+	}
+	if root.IsNil() || root.InDRAM() {
 		panic("core: no committed NVBM version to pin")
 	}
-	return t.registerPin(t.committed, t.committedStep)
+	return t.registerPin(root, step)
 }
 
 // PinVersion pins an arbitrary committed version, typically one of the
@@ -122,10 +133,22 @@ type VersionInfo struct {
 // slots and the result is empty. Writer thread only (deep verification
 // uses the shared scratch buffer).
 func (t *Tree) RetainedVersions() []VersionInfo {
-	var out []VersionInfo
+	// Ring entries are snapshotted under rootMu (the persist worker pushes
+	// entries concurrently when pipelining); the deep verification below
+	// runs outside the lock — it only reads durable, immutable versions.
+	type entry struct {
+		root Ref
+		step uint64
+	}
+	var ring [histSlots]entry
+	unlock := t.lockRootTable()
 	for i := 0; i < histSlots; i++ {
-		root := Ref(t.nv.Root(histAddrSlot(i)))
-		step := t.nv.Root(histStepSlot(i))
+		ring[i] = entry{Ref(t.nv.Root(histAddrSlot(i))), t.nv.Root(histStepSlot(i))}
+	}
+	unlock()
+	var out []VersionInfo
+	for _, e := range ring {
+		root, step := e.root, e.step
 		if root.IsNil() || root.InDRAM() || root == t.committed {
 			continue
 		}

@@ -121,7 +121,9 @@ func (t *Tree) Validate() error {
 				return false
 			}
 			var co Octant
-			t.nv.Read(c.Handle(), t.scratch[:])
+			// Pending-aware: under the persist pipeline a committed child
+			// may still await writeback.
+			t.chargedRead(c, t.scratch[:])
 			co.decode(t.scratch[:])
 			if co.Code != o.Code.Child(i) {
 				err = t.verrf("committed %v child %d has code %v", o.Code, i, co.Code)

@@ -65,6 +65,24 @@ type Config struct {
 	// Restore returns it. Default 0: superseded versions are reclaimed as
 	// the paper prescribes.
 	RetainVersions int
+	// PipelineDepth, when k > 0, turns on the asynchronous persistence
+	// pipeline: Persist stages the step's merge delta and returns while a
+	// background worker performs the NVBM writeback, fallback-ring push,
+	// and commit-record flip. k bounds the in-flight window (versions
+	// enqueued but not yet durable); Persist blocks when the window is
+	// full. It may not exceed MaxRetainVersions - RetainVersions — every
+	// commit claims a fallback-ring entry, and the retained versions must
+	// survive a full in-flight window (PipelineDepthError otherwise).
+	// Default 0: the synchronous Persist, bit-identical to the unpipelined
+	// tree. See pipeline.go for semantics and Flush for the durability
+	// barrier.
+	PipelineDepth int
+	// GroupCommit, with PipelineDepth > 0, lets the persist worker
+	// coalesce up to this many queued step deltas into one durable commit:
+	// one writeback batch, one ring push, one commit-record flip naming
+	// the newest version of the group. Versions folded into a group never
+	// get their own commit record. Clamped to [1, PipelineDepth].
+	GroupCommit int
 	// CacheCommittedReads lets the decoded-octant cache elide the modeled
 	// device read on hits against committed-version NVBM octants, which
 	// are immutable under multi-version copy-on-write. Off by default —
@@ -80,13 +98,19 @@ type Config struct {
 	DRAMDevice *nvbm.Device
 }
 
-// Validate reports configuration errors that defaulting cannot repair.
-// Today that is one case: RetainVersions deeper than the persistent
-// fallback ring, which used to be silently clamped — a snapshot catalog
-// sized to the request would then pin fewer versions than promised.
+// Validate reports configuration errors that defaulting cannot repair:
+// RetainVersions deeper than the persistent fallback ring (which used to
+// be silently clamped — a snapshot catalog sized to the request would
+// then pin fewer versions than promised), and a persist-pipeline window
+// deeper than the ring headroom left after retention.
 func (c Config) Validate() error {
 	if c.RetainVersions > MaxRetainVersions {
 		return &RetainDepthError{Requested: c.RetainVersions, Limit: MaxRetainVersions}
+	}
+	if c.PipelineDepth > 0 {
+		if limit := MaxRetainVersions - c.RetainVersions; c.PipelineDepth > limit {
+			return &PipelineDepthError{Requested: c.PipelineDepth, Limit: limit}
+		}
 	}
 	return nil
 }
@@ -174,6 +198,11 @@ type Tree struct {
 	markBits    []uint64
 	markScratch []Ref
 
+	// pipe is the asynchronous persist pipeline (pipeline.go), nil when
+	// Config.PipelineDepth is 0 — every pipelined branch in the hot paths
+	// is a nil check, keeping the synchronous tree bit-identical.
+	pipe *pipeline
+
 	// Snapshot pin registry (snapshot.go): committed versions held alive
 	// for concurrent readers. pinMu orders reader Releases against the
 	// writer's pin/GC/Compact passes; everything else on the Tree stays
@@ -233,6 +262,7 @@ func Create(cfg Config) *Tree {
 	t.nv.SetRoot(rootSlotStep, 0)
 	t.committed = r
 	t.cur = r
+	t.startPipeline()
 	return t
 }
 
@@ -254,6 +284,9 @@ func Restore(cfg Config) (*Tree, error) {
 // observe reformatted slots (reads stay memory-safe, results become
 // garbage).
 func (t *Tree) Delete() {
+	// In-flight versions die with the tree; stop the worker before the
+	// arenas are reformatted under it.
+	t.AbortPipeline()
 	t.dram = pmem.NewArena(t.cfg.DRAMDevice, RecordSize)
 	t.nv = pmem.NewArena(t.cfg.NVBMDevice, RecordSize)
 	t.committed, t.cur = NilRef, NilRef
@@ -333,6 +366,11 @@ func (t *Tree) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc("core.cache.skipped_reads", func() float64 { return float64(t.fp.CacheSkippedReads) })
 	r.RegisterFunc("core.leafindex.rebuilds", func() float64 { return float64(t.fp.LeafIndexRebuilds) })
 	r.RegisterFunc("core.leafindex.reuses", func() float64 { return float64(t.fp.LeafIndexReuses) })
+	r.RegisterFunc("core.pipeline.enqueued", func() float64 { return float64(t.PipelineStats().Enqueued) })
+	r.RegisterFunc("core.pipeline.committed", func() float64 { return float64(t.PipelineStats().Committed) })
+	r.RegisterFunc("core.pipeline.coalesced", func() float64 { return float64(t.PipelineStats().Coalesced) })
+	r.RegisterFunc("core.pipeline.stalls", func() float64 { return float64(t.PipelineStats().Stalls) })
+	r.RegisterFunc("core.pipeline.pending", func() float64 { return float64(t.PipelineStats().Pending) })
 	telemetry.RegisterDevice(r, prefix+".nvbm", t.cfg.NVBMDevice)
 	telemetry.RegisterDevice(r, prefix+".dram", t.cfg.DRAMDevice)
 }
@@ -364,6 +402,20 @@ func (t *Tree) arenaFor(r Ref) *pmem.Arena {
 	return t.nv
 }
 
+// chargedRead fills buf from the record at r, serving NVBM slots that are
+// staged in the persist pipeline but not yet written back from the
+// pipeline's pending set (read-your-writes). A pending hit still charges
+// the modeled device read, so modeled traffic — and therefore the golden
+// statistics — does not depend on writeback timing. With the pipeline off
+// this is exactly the arena read.
+func (t *Tree) chargedRead(r Ref, buf []byte) {
+	if pp := t.pipe; pp != nil && !r.InDRAM() && pp.readPendingField(r.Handle(), 0, buf) {
+		t.cfg.NVBMDevice.ChargeRead(len(buf))
+		return
+	}
+	t.arenaFor(r).Read(r.Handle(), buf)
+}
+
 // readOct loads the octant at r and records a subtree access. A decoded-
 // cache hit skips the host-side decode; in the default configuration the
 // charged device read still happens (same bytes, same modeled latency),
@@ -377,7 +429,7 @@ func (t *Tree) readOct(r Ref) Octant {
 			t.fp.CacheSkippedReads++
 		} else {
 			var buf [RecordSize]byte
-			t.arenaFor(r).Read(r.Handle(), buf[:])
+			t.chargedRead(r, buf[:])
 		}
 		o := line.oct
 		t.touch(o.Code)
@@ -386,7 +438,7 @@ func (t *Tree) readOct(r Ref) Octant {
 	t.fp.CacheMisses++
 	var o Octant
 	var buf [RecordSize]byte
-	t.arenaFor(r).Read(r.Handle(), buf[:])
+	t.chargedRead(r, buf[:])
 	o.decode(buf[:])
 	t.cachePut(r, &o)
 	t.touch(o.Code)
@@ -416,8 +468,19 @@ func (t *Tree) writeChildren(r Ref, o *Octant) {
 	t.noteMutation()
 }
 
-// writeParentField stores only the parent field at r.
+// writeParentField stores only the parent field at r. While a pipelined
+// merge is staging, a target relocated moments earlier has no device
+// record yet — the parent is patched into its staged record instead (the
+// field reaches the device once, with the batch writeback, so the fix-up
+// write is never charged).
 func (t *Tree) writeParentField(r Ref, parent Ref) {
+	if pp := t.pipe; pp != nil && !r.InDRAM() && pp.patchParent(r.Handle(), parent) {
+		if line := t.cacheLineOf(r); line != nil {
+			line.oct.Parent = parent
+		}
+		t.noteMutation()
+		return
+	}
 	var buf [4]byte
 	putU32(buf[:], uint32(parent))
 	t.arenaFor(r).WriteField(r.Handle(), offParent, buf[:])
@@ -451,9 +514,16 @@ func (t *Tree) writeFlagsField(r Ref, flags uint32) {
 	t.noteMutation()
 }
 
-// readVersion loads only the version word at r.
+// readVersion loads only the version word at r, consulting the persist
+// pipeline's pending set first (the staged record is the truth for a slot
+// whose writeback has not landed; the modeled field read is still
+// charged).
 func (t *Tree) readVersion(r Ref) uint64 {
 	var buf [8]byte
+	if pp := t.pipe; pp != nil && !r.InDRAM() && pp.readPendingField(r.Handle(), offVersion, buf[:]) {
+		t.cfg.NVBMDevice.ChargeRead(len(buf))
+		return getU64(buf[:])
+	}
 	t.arenaFor(r).ReadField(r.Handle(), offVersion, buf[:])
 	return getU64(buf[:])
 }

@@ -54,6 +54,9 @@ type Scale struct {
 
 	RecoveryCrashStep int
 	RecoveryMaxLevel  uint8
+
+	PipelineSteps    int
+	PipelineMaxLevel uint8
 }
 
 // DefaultScale returns the fast configuration.
@@ -85,6 +88,9 @@ func DefaultScale() Scale {
 
 		RecoveryCrashStep: 15,
 		RecoveryMaxLevel:  5,
+
+		PipelineSteps:    12,
+		PipelineMaxLevel: 5,
 	}
 }
 
@@ -107,6 +113,7 @@ func PaperScale() Scale {
 	s.Fig11Levels = []uint8{4, 5, 6}
 	s.Fig11Ranks = 4
 	s.Fig11Steps = 6
+	s.PipelineSteps = 30
 	return s
 }
 

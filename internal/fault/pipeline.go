@@ -1,0 +1,276 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
+)
+
+// PipelineChaosConfig parameterizes a chaos soak of the asynchronous
+// persistence pipeline: the droplet workload steps with commits riding
+// the background persist worker, and power is cut at every pipeline
+// stage — before any writeback write lands, mid-writeback (including
+// inside a group batch), after the fallback-ring push with the commit
+// record not yet flipped, after the flip, and at mutator-chosen write
+// counts that land anywhere in a step.
+type PipelineChaosConfig struct {
+	Seed          int64
+	Steps         int   // droplet steps to attempt (default 60)
+	MaxLevel      uint8 // refinement bound (default 4)
+	DRAMBudget    int   // C0 budget in octants (default 4096)
+	PipelineDepth int   // in-flight commit window (default 3)
+	GroupCommit   int   // batch width (default 2)
+	// Recorder, when non-nil, receives commit_attempt/crash/restore flight
+	// events; every restore event must name a version some commit_attempt
+	// published (the same black-box contract as the synchronous soak).
+	Recorder *telemetry.FlightRecorder
+}
+
+func (c PipelineChaosConfig) withDefaults() PipelineChaosConfig {
+	if c.Steps <= 0 {
+		c.Steps = 60
+	}
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 4
+	}
+	if c.DRAMBudget <= 0 {
+		c.DRAMBudget = 4096
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 3
+	}
+	if c.GroupCommit <= 0 {
+		c.GroupCommit = 2
+	}
+	return c
+}
+
+// PipelineChaosReport is the outcome of a pipelined soak. Unlike the
+// synchronous ChaosReport it is NOT bit-reproducible per seed: the cut
+// races the worker thread, so which stage a given crash lands in — and
+// therefore which version recovery picks and how the workload evolves
+// afterwards — varies run to run. The report carries counters; the
+// correctness contract is the invariant the run enforces, not the exact
+// numbers.
+type PipelineChaosReport struct {
+	Seed      int64
+	Steps     int
+	Committed int // steps whose Persist returned without crashing
+
+	CutsArmed        int
+	Crashes          int // power-loss crashes taken
+	StageCuts        map[string]int
+	Restores         int
+	Fallbacks        int
+	ValidateFailures int
+
+	Stalls    uint64 // mutator stalls on a full pipeline window
+	Coalesced uint64 // versions that shared a group commit
+
+	FinalStep   uint64
+	FinalLeaves int
+}
+
+// String renders a diffable summary.
+func (r PipelineChaosReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline-chaos seed=%d steps=%d committed=%d\n", r.Seed, r.Steps, r.Committed)
+	fmt.Fprintf(&b, "  cuts: armed=%d fired=%d (writeback=%d ring=%d commit=%d mutator=%d)\n",
+		r.CutsArmed, r.Crashes, r.StageCuts["writeback"], r.StageCuts["ring"], r.StageCuts["commit"], r.StageCuts["mutator"])
+	fmt.Fprintf(&b, "  recovery: restores=%d fallbacks=%d validate_failures=%d\n",
+		r.Restores, r.Fallbacks, r.ValidateFailures)
+	fmt.Fprintf(&b, "  pipeline: stalls=%d coalesced=%d\n", r.Stalls, r.Coalesced)
+	fmt.Fprintf(&b, "  final: step=%d leaves=%d\n", r.FinalStep, r.FinalLeaves)
+	return b.String()
+}
+
+// pipelineStages is the cut rotation: the three worker stages plus a
+// mutator-side write-count cut that can land anywhere in a step
+// (evictions, staging, GC bitmap writes) — including with the delta
+// snapshotted but nothing written back.
+var pipelineStages = []string{"writeback", "ring", "commit", "mutator"}
+
+// RunPipeline executes the pipelined chaos soak. The invariant it
+// enforces is the same one the synchronous soak pins, extended to group
+// commit: whatever stage power is lost in, recovery lands on a version
+// whose digest some enqueued version published — never a torn hybrid,
+// never a state that was only partially written back, and never a group
+// batch's intermediate member with the record already naming the batch.
+// An error means that guarantee was violated.
+func RunPipeline(cfg PipelineChaosConfig) (PipelineChaosReport, error) {
+	cfg = cfg.withDefaults()
+	rep := PipelineChaosReport{Seed: cfg.Seed, Steps: cfg.Steps, StageCuts: map[string]int{}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nv := nvbm.New(nvbm.NVBM, 0)
+	mkConfig := func() core.Config {
+		return core.Config{
+			NVBMDevice:        nv,
+			DRAMDevice:        nvbm.New(nvbm.DRAM, 0),
+			DRAMBudgetOctants: cfg.DRAMBudget,
+			Seed:              cfg.Seed,
+			RetainVersions:    0, // leave the whole ring to the pipeline window
+			VerifyRestore:     true,
+			PipelineDepth:     cfg.PipelineDepth,
+			GroupCommit:       cfg.GroupCommit,
+		}
+	}
+
+	// The armed stage is read by the persist worker's hook and written by
+	// the mutator between steps; atomics keep the handoff clean.
+	var armStage atomic.Value // string: stage to cut at, "" disarmed
+	var armBudget atomic.Int64
+	armStage.Store("")
+	hook := func(stage string) {
+		if s, _ := armStage.Load().(string); s == stage {
+			armStage.Store("")
+			nv.CutPowerAfter(int(armBudget.Load()))
+		}
+	}
+
+	tree := core.Create(mkConfig())
+	tree.SetPersistHook(hook)
+	d := sim.NewDroplet(sim.DropletConfig{Steps: cfg.Steps + 2})
+	tree.SetFeatures(d.Feature(1))
+
+	// Every version handed to the pipeline is a legitimate recovery
+	// target: it becomes durable if its (group's) record flips before the
+	// cut. Digests are recorded BEFORE Persist — relocation never changes
+	// codes or data, and the cut can land inside Persist after the
+	// enqueue.
+	history := map[uint64]bool{commitDigest(tree): true}
+	cfg.Recorder.Record(telemetry.FlightEvent{Kind: "commit", Step: tree.CommittedStep(), Value: commitDigest(tree)})
+
+	recoverTree := func(s int, stage string) error {
+		rep.StageCuts[stage]++
+		cfg.Recorder.Record(telemetry.FlightEvent{Kind: "crash", Step: uint64(s), Detail: "stage=" + stage})
+		// The worker may have died with the mutator or still be parked;
+		// either way the queue is lost power — drop it without flushing.
+		tree.AbortPipeline()
+		armStage.Store("")
+		nv.RestorePower()
+		t, rrep, err := core.RestoreWithReport(mkConfig())
+		if err != nil {
+			return fmt.Errorf("step %d (%s cut): unrecoverable: %w", s, stage, err)
+		}
+		rep.Restores++
+		if rrep.Fallbacks > 0 {
+			rep.Fallbacks++
+		}
+		dg := commitDigest(t)
+		cfg.Recorder.Record(telemetry.FlightEvent{Kind: "restore", Step: t.CommittedStep(), Value: dg,
+			Detail: fmt.Sprintf("fallbacks=%d", rrep.Fallbacks)})
+		if !history[dg] {
+			return fmt.Errorf("step %d (%s cut): restored version (step %d) was never handed to the pipeline", s, stage, rrep.ChosenStep)
+		}
+		tree = t
+		tree.SetPersistHook(hook)
+		tree.SetFeatures(d.Feature(s + 1))
+		return nil
+	}
+
+	for s := 1; s <= cfg.Steps; s++ {
+		// Arm a cut on a rotating schedule: roughly every other step,
+		// cycling through the worker stages and the mutator-side counter.
+		stage := ""
+		if rng.Intn(2) == 0 {
+			stage = pipelineStages[rng.Intn(len(pipelineStages))]
+			rep.CutsArmed++
+			if stage == "mutator" {
+				nv.CutPowerAfterTorn(rng.Intn(200), cfg.Seed+int64(s))
+			} else {
+				armBudget.Store(int64(rng.Intn(8)))
+				armStage.Store(stage)
+			}
+		}
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r == nvbm.ErrPowerLost {
+						rep.Crashes++
+					} else {
+						rep.ValidateFailures++
+					}
+					crashed = true
+				}
+			}()
+			sim.Step(tree, d, s, cfg.MaxLevel)
+			tree.SetFeatures(d.Feature(s + 1))
+			pending := workingDigest(tree)
+			history[pending] = true
+			cfg.Recorder.Record(telemetry.FlightEvent{Kind: "commit_attempt", Step: tree.Step(), Value: pending})
+			tree.Persist()
+			// Periodically drain the window so late-armed worker cuts fire
+			// within the step that armed them (and Flush's failure
+			// surfacing is exercised, not just Persist's).
+			if s%5 == 0 {
+				tree.Flush()
+			}
+		}()
+		if crashed {
+			if stage == "" {
+				// A cut armed in an earlier step fired late, or validation
+				// tripped; attribute to the mutator bucket.
+				stage = "mutator"
+			}
+			if err := recoverTree(s, stage); err != nil {
+				finalizePipeline(&rep, tree)
+				return rep, err
+			}
+			continue
+		}
+		armStage.Store("")
+		nv.RestorePower() // disarm an unspent countdown
+		rep.Committed++
+		if err := safeValidate(tree); err != nil {
+			rep.ValidateFailures++
+			if rerr := recoverTree(s, "validate"); rerr != nil {
+				finalizePipeline(&rep, tree)
+				return rep, rerr
+			}
+		}
+	}
+
+	// Final barrier: everything enqueued becomes durable, and the device
+	// restores to the exact committed state.
+	flushErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("final flush crashed: %v", r)
+			}
+		}()
+		tree.Flush()
+		return nil
+	}()
+	finalizePipeline(&rep, tree)
+	if flushErr != nil {
+		return rep, flushErr
+	}
+	finalDigest := commitDigest(tree)
+	if !history[finalDigest] {
+		return rep, fmt.Errorf("final committed state was never handed to the pipeline")
+	}
+	restored, _, err := core.RestoreWithReport(mkConfig())
+	if err != nil {
+		return rep, fmt.Errorf("final restore: %w", err)
+	}
+	if got := commitDigest(restored); got != finalDigest {
+		return rep, fmt.Errorf("final restore diverged from the flushed state: %016x != %016x", got, finalDigest)
+	}
+	return rep, nil
+}
+
+func finalizePipeline(rep *PipelineChaosReport, tree *core.Tree) {
+	st := tree.PipelineStats()
+	rep.Stalls += st.Stalls
+	rep.Coalesced += st.Coalesced
+	rep.FinalStep = tree.CommittedStep()
+	rep.FinalLeaves = tree.LeafCount()
+}

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"testing"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
+)
+
+// TestPipelineChaosSoak runs the pipelined soak across seeds until every
+// pipeline stage has taken at least one power cut — delta handed off but
+// nothing written back, mid-writeback, ring pushed with the record not
+// flipped, after the flip, and mutator-side cuts landing anywhere in a
+// step — and checks the recovery invariant plus the flight-recorder
+// contract: every restore event names a digest some commit or
+// commit-attempt event published first.
+func TestPipelineChaosSoak(t *testing.T) {
+	stageFired := map[string]int{}
+	legit := map[uint64]bool{}
+	var restores, crashes int
+	for seed := int64(1); seed <= 4; seed++ {
+		fr := telemetry.NewFlightRecorder(8192)
+		rep, err := RunPipeline(PipelineChaosConfig{Seed: seed, Steps: 60, Recorder: fr})
+		if err != nil {
+			t.Fatalf("seed %d: recovery guarantee violated: %v\n%s", seed, err, rep)
+		}
+		crashes += rep.Crashes
+		restores += rep.Restores
+		for stage, n := range rep.StageCuts {
+			stageFired[stage] += n
+		}
+		for _, ev := range fr.Events() {
+			switch ev.Kind {
+			case "commit", "commit_attempt":
+				legit[ev.Value] = true
+			case "restore":
+				if !legit[ev.Value] {
+					t.Errorf("seed %d: restore event (step %d) digest %016x matches no prior commit/commit_attempt", seed, ev.Step, ev.Value)
+				}
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("soak fired no crashes; the cut schedule is broken")
+	}
+	if restores == 0 {
+		t.Fatal("soak performed no restores")
+	}
+	for _, stage := range pipelineStages {
+		if stageFired[stage] == 0 {
+			t.Errorf("no crash attributed to the %q stage across all seeds: %v", stage, stageFired)
+		}
+	}
+}
+
+// TestPipelineServeRaceSoak is the three-party concurrency soak: the
+// mutator steps and persists, the background worker writes versions back,
+// and MVCC snapshot readers query pinned committed versions — all at
+// once, no faults. Pinned snapshots must stay bit-identical across
+// double reads (readers see only crash-consistent durable versions), and
+// the run must end clean under -race.
+func TestPipelineServeRaceSoak(t *testing.T) {
+	steps := 40
+	if testing.Short() {
+		steps = 12
+	}
+	tree := core.Create(core.Config{
+		NVBMDevice:        nvbm.New(nvbm.NVBM, 0),
+		DRAMDevice:        nvbm.New(nvbm.DRAM, 0),
+		DRAMBudgetOctants: 4096,
+		Seed:              11,
+		PipelineDepth:     3,
+		GroupCommit:       2,
+	})
+	d := sim.NewDroplet(sim.DropletConfig{Steps: steps + 2})
+	tree.SetFeatures(d.Feature(1))
+	srv := startChaosServing(4, tree)
+
+	for s := 1; s <= steps; s++ {
+		sim.Step(tree, d, s, 4)
+		tree.SetFeatures(d.Feature(s + 1))
+		tree.Persist()
+		srv.publish()
+	}
+	tree.Flush()
+	var qs QueryStats
+	srv.stop(&qs)
+	if qs.Mismatches > 0 {
+		t.Fatalf("pinned snapshots diverged under the persist worker: %+v", qs)
+	}
+	if qs.Served == 0 {
+		t.Fatalf("readers served nothing: %+v", qs)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.PipelineStats()
+	if st.Enqueued != uint64(steps) {
+		t.Fatalf("enqueued %d, stepped %d", st.Enqueued, steps)
+	}
+	tree.Close()
+}

@@ -216,11 +216,9 @@ func (d *Device) ReadAt(off int, p []byte) {
 // from the device contents.
 var ErrPowerLost = fmt.Errorf("nvbm: power lost")
 
-// WriteAt copies p into the device starting at offset off, charging write
-// latency for one access of len(p) bytes and bumping wear counters for
-// every touched line. With an armed power cut whose countdown has
-// expired, the access panics with ErrPowerLost.
-func (d *Device) WriteAt(off int, p []byte) {
+// consumePowerCut spends one write from an armed power-cut countdown,
+// panicking with ErrPowerLost once the budget is gone.
+func (d *Device) consumePowerCut(off int, p []byte) {
 	// CAS loop: a plain load-then-store would let two concurrent writers
 	// read the same countdown and lose a decrement, letting more writes
 	// land than the torture harness armed.
@@ -242,6 +240,14 @@ func (d *Device) WriteAt(off int, p []byte) {
 			break
 		}
 	}
+}
+
+// WriteAt copies p into the device starting at offset off, charging write
+// latency for one access of len(p) bytes and bumping wear counters for
+// every touched line. With an armed power cut whose countdown has
+// expired, the access panics with ErrPowerLost.
+func (d *Device) WriteAt(off int, p []byte) {
+	d.consumePowerCut(off, p)
 	d.mu.RLock()
 	if off < 0 || off+len(p) > len(d.data) {
 		d.mu.RUnlock()
@@ -260,6 +266,40 @@ func (d *Device) WriteAt(off int, p []byte) {
 		}
 	}
 	d.mu.RUnlock()
+	d.chargeWrite(len(p))
+}
+
+// WriteAtExclusive is WriteAt under the device's exclusive lock. The
+// default WriteAt runs under the shared lock, which is correct when
+// concurrent writers touch disjoint cache LINES; with media tracking on,
+// however, every store recomputes the whole per-line CRC shadow, so two
+// writers whose byte ranges are disjoint but SHARE a line can publish a
+// stale checksum for each other's bytes — false corruption. The persist
+// pipeline's background writeback uses this entry point because octant
+// records are not line-aligned (adjacent arena slots share lines with
+// whatever the mutator writes in the same instant). Latency accounting
+// and any injected spin delay happen outside the lock, exactly like
+// WriteAt, so exclusivity costs only the data copy.
+func (d *Device) WriteAtExclusive(off int, p []byte) {
+	d.consumePowerCut(off, p)
+	d.mu.Lock()
+	if off < 0 || off+len(p) > len(d.data) {
+		d.mu.Unlock()
+		panic(fmt.Sprintf("nvbm: write [%d,%d) out of range (size %d)", off, off+len(p), d.Size()))
+	}
+	if d.kind == NVBM && len(p) > 0 && (d.wearLimit.Load() > 0 || d.track.Load()) {
+		d.writeLinesLocked(off, p)
+	} else {
+		copy(d.data[off:], p)
+		if d.kind == NVBM && len(p) > 0 {
+			for line := off / LineSize; line <= (off+len(p)-1)/LineSize; line++ {
+				if line < len(d.wear) {
+					atomic.AddUint32(&d.wear[line], 1)
+				}
+			}
+		}
+	}
+	d.mu.Unlock()
 	d.chargeWrite(len(p))
 }
 

@@ -22,9 +22,12 @@ import (
 // maintained.
 //
 // Concurrency: media tracking recomputes whole-line CRCs on write, so two
-// writers sharing a cache line would race on the CRC even when their byte
-// ranges are disjoint. Enable tracking only for single-writer phases or
-// line-disjoint access patterns (the chaos harness is serial).
+// shared-lock writers (WriteAt) sharing a cache line would race on the CRC
+// even when their byte ranges are disjoint. With tracking on, enable only
+// single-writer phases or line-disjoint access patterns per lock class —
+// or route one side through WriteAtExclusive, which serializes against
+// every other access, as the persist pipeline's background writeback does
+// (its slot payloads are not line-aligned).
 
 // zeroLineCRC is the CRC-32 of an all-zero full line, used to initialize
 // the shadow for freshly grown (zeroed) capacity.
@@ -347,7 +350,8 @@ func (d *Device) lineChecksumLocked(line int) uint32 {
 // writeLinesLocked is the slow write path, taken when a wear limit or
 // media tracking is active: the store is applied line by line so that
 // worn-out lines can drop it and the CRC shadow stays in sync. Caller
-// holds d.mu.RLock and has bounds-checked (off, p).
+// holds d.mu (RLock on the WriteAt path, Lock on the WriteAtExclusive
+// path) and has bounds-checked (off, p).
 func (d *Device) writeLinesLocked(off int, p []byte) {
 	limit := d.wearLimit.Load()
 	track := d.track.Load()

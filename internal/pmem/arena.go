@@ -20,7 +20,9 @@
 package pmem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"pmoctree/internal/nvbm"
@@ -60,12 +62,22 @@ const (
 var arenaMagic = [8]byte{'P', 'M', 'A', 'R', 'E', 'N', 'A', '2'}
 
 // Arena is a fixed-slot allocator over a Device. It is not safe for
-// general concurrent use; each simulation rank owns its arenas. One
-// exception is carved out for MVCC serving: Read/ReadField/Live/HighWater
-// on slots that are never freed or rewritten (committed, pinned octree
-// versions) may run concurrently with the single writer's AllocRaw/Write
-// on OTHER slots — the high-water mark is atomic and the device tolerates
-// disjoint-range access racing Grow.
+// general concurrent use; each simulation rank owns its arenas. Two
+// exceptions are carved out:
+//
+//   - MVCC serving: Read/ReadField/Live/HighWater on slots that are never
+//     freed or rewritten (committed, pinned octree versions) may run
+//     concurrently with the single writer's AllocRaw/Write on OTHER slots
+//     — the high-water mark is atomic and the device tolerates
+//     disjoint-range access racing Grow.
+//   - Persist writeback: a single background worker may WriteExclusive to
+//     slots the mutator does not concurrently read or write, while the
+//     mutator keeps allocating, freeing and writing other slots. All
+//     allocation bookkeeping (free list, liveWords mirror, zeroBuf, the
+//     persistent bitmap) stays mutator-owned — the worker only stores
+//     payloads into slots the mutator already allocated, and does so
+//     under the device's exclusive lock because adjacent slot payloads
+//     can share a cache line (see nvbm.Device.WriteAtExclusive).
 type Arena struct {
 	dev      *nvbm.Device
 	slotSize int // user-visible bytes per slot
@@ -99,8 +111,26 @@ type Arena struct {
 	liveWords []uint64
 
 	// zeroBuf is the reusable zeroing buffer for Alloc. It is only ever
-	// passed to dev.WriteAt, which copies it, so it stays all-zero.
+	// passed to dev.WriteAt, which copies it, so it stays all-zero. It is
+	// built eagerly at construction: a lazy first-Alloc initialization
+	// would be an unsynchronized field store racing any concurrent
+	// reader/persister goroutine that shares the Arena value.
 	zeroBuf []byte
+
+	// deferBits switches allocation-bitmap persistence from eager per-bit
+	// device read-modify-writes to deferred whole-word writeback: setBit
+	// updates only the volatile liveWords mirror and records the touched
+	// word in dirty; TakeDirtyBits snapshots the dirty words (and the
+	// high-water mark, whose per-allocation WriteU32 is deferred too) for
+	// a persist worker to land via WriteBitsExclusive before a commit
+	// record flips. Crash-wise the deferral is free: a set bit lost to a
+	// crash describes a slot no durable root references (bits land before
+	// the flip that makes slots reachable), and a cleared bit lost is a
+	// leak the octree's mark-and-sweep reclaims — both already the
+	// documented behavior of a crash between a slot write and its bitmap
+	// flip. Mutator-owned, like every other allocation field.
+	deferBits bool
+	dirty     map[int]struct{}
 }
 
 // NewArena formats dev as an empty arena with the given user slot size and
@@ -124,6 +154,7 @@ func NewArenaCap(dev *nvbm.Device, slotSize, maxSlots int) *Arena {
 		slotSize: slotSize,
 		stride:   align8(slotSize),
 		maxSlots: maxSlots,
+		zeroBuf:  make([]byte, slotSize),
 	}
 	reformatting := dev.Size() > 0
 	if min := a.slotsBase(); dev.Size() < min {
@@ -167,6 +198,7 @@ func OpenArena(dev *nvbm.Device) (*Arena, error) {
 	if a.slotSize <= 0 || a.stride < a.slotSize || a.maxSlots <= 0 {
 		return nil, fmt.Errorf("pmem: corrupt arena geometry: slot %d stride %d cap %d", a.slotSize, a.stride, a.maxSlots)
 	}
+	a.zeroBuf = make([]byte, a.slotSize)
 	if int(a.highWater.Load()) > a.maxSlots {
 		return nil, fmt.Errorf("pmem: high water %d exceeds capacity %d", a.highWater.Load(), a.maxSlots)
 	}
@@ -201,17 +233,21 @@ func (a *Arena) slotOff(i uint32) int {
 }
 
 // setBit flips slot i's allocation bit (one byte read-modify-write) and
-// keeps the volatile liveWords mirror in lockstep.
+// keeps the volatile liveWords mirror in lockstep. In deferred mode the
+// device access is skipped: the mirror is the truth and the word is
+// queued for WriteBitsExclusive.
 func (a *Arena) setBit(i uint32, on bool) {
-	off := headerSize + int(i/8)
-	var b [1]byte
-	a.dev.ReadAt(off, b[:])
-	if on {
-		b[0] |= 1 << (i % 8)
-	} else {
-		b[0] &^= 1 << (i % 8)
+	if !a.deferBits {
+		off := headerSize + int(i/8)
+		var b [1]byte
+		a.dev.ReadAt(off, b[:])
+		if on {
+			b[0] |= 1 << (i % 8)
+		} else {
+			b[0] &^= 1 << (i % 8)
+		}
+		a.dev.WriteAt(off, b[:])
 	}
-	a.dev.WriteAt(off, b[:])
 	if wi := int(i / 64); wi >= len(a.liveWords) {
 		grown := make([]uint64, wi+1)
 		copy(grown, a.liveWords)
@@ -222,10 +258,21 @@ func (a *Arena) setBit(i uint32, on bool) {
 	} else {
 		a.liveWords[i/64] &^= 1 << (i % 64)
 	}
+	if a.deferBits {
+		a.dirty[int(i/64)] = struct{}{}
+	}
 }
 
-// bit reads slot i's allocation bit.
+// bit reads slot i's allocation bit. In deferred mode the persistent
+// bitmap may lag the truth, so the volatile mirror answers instead —
+// uncharged, because the host genuinely never touches the device here.
 func (a *Arena) bit(i uint32) bool {
+	if a.deferBits {
+		if wi := int(i / 64); wi < len(a.liveWords) {
+			return a.liveWords[wi]&(1<<(i%64)) != 0
+		}
+		return false
+	}
 	var b [1]byte
 	a.dev.ReadAt(headerSize+int(i/8), b[:])
 	return b[0]&(1<<(i%8)) != 0
@@ -239,9 +286,6 @@ func (a *Arena) SetWearLeveling(on bool) { a.wearLevel = on }
 // zeroed. It panics when the formatted capacity is exhausted.
 func (a *Arena) Alloc() Handle {
 	h := a.AllocRaw()
-	if a.zeroBuf == nil {
-		a.zeroBuf = make([]byte, a.slotSize)
-	}
 	a.dev.WriteAt(a.slotOff(uint32(h-1)), a.zeroBuf)
 	return h
 }
@@ -277,7 +321,9 @@ func (a *Arena) AllocRaw() Handle {
 			a.dev.Grow(newSize)
 		}
 		a.highWater.Store(idx + 1)
-		a.dev.WriteU32(highWaterOff, idx+1)
+		if !a.deferBits {
+			a.dev.WriteU32(highWaterOff, idx+1)
+		}
 	}
 	a.setBit(idx, true)
 	a.live++
@@ -340,6 +386,151 @@ func (a *Arena) Write(h Handle, p []byte) {
 		p = p[:a.slotSize]
 	}
 	a.dev.WriteAt(a.slotOff(idx), p)
+}
+
+// WriteExclusive copies p into the slot payload like Write, but performs
+// the device store under the device's exclusive lock. The persist
+// pipeline's background worker uses it for octant writeback: slot
+// payloads are not cache-line aligned, so a worker write and a mutator
+// write to ADJACENT slots can share a line, which the shared-lock write
+// path only tolerates while media tracking is off (see
+// nvbm.Device.WriteAtExclusive).
+func (a *Arena) WriteExclusive(h Handle, p []byte) {
+	idx := a.index(h)
+	if len(p) > a.slotSize {
+		p = p[:a.slotSize]
+	}
+	a.dev.WriteAtExclusive(a.slotOff(idx), p)
+}
+
+// Stride returns the allocated bytes per slot: the payload size rounded
+// up to 8-byte alignment. Consecutive slot offsets differ by exactly
+// Stride.
+func (a *Arena) Stride() int { return a.stride }
+
+// WriteSpanExclusive stores p — the images of one or more CONSECUTIVE
+// slots, laid out at Stride intervals starting with slot h — in a single
+// exclusive device access. The persist pipeline's worker coalesces a
+// batch of adjacent writeback records into spans: one store amortizes the
+// per-access device latency and the exclusive lock across the run, which
+// is where group persistence earns its name. The caller must own every
+// slot the span covers (the inter-record padding bytes are written too;
+// they are zero in fresh slots and unobservable through Read).
+func (a *Arena) WriteSpanExclusive(h Handle, p []byte) {
+	a.dev.WriteAtExclusive(a.slotOff(a.index(h)), p)
+}
+
+// BitWord is one deferred allocation-bitmap word: the 64-slot word at
+// index Index held value Val when TakeDirtyBits snapshotted it. The
+// little-endian encoding of Val is byte-for-byte the persistent bitmap's
+// layout (slot i lives in byte i/8, bit i%8).
+type BitWord struct {
+	Index int
+	Val   uint64
+}
+
+// SetDeferredBits toggles deferred bitmap persistence (see the deferBits
+// field). Turning it off flushes any still-dirty words and the high-water
+// mark to the device synchronously, restoring the eager invariant.
+// Mutator-only; callers abandoning an arena after a simulated crash
+// simply never turn it off.
+func (a *Arena) SetDeferredBits(on bool) {
+	if on == a.deferBits {
+		return
+	}
+	if on {
+		a.deferBits = true
+		if a.dirty == nil {
+			a.dirty = make(map[int]struct{})
+		}
+		return
+	}
+	words, hw := a.TakeDirtyBits(nil)
+	a.deferBits = false
+	var b [8]byte
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(b[:], w.Val)
+		off := headerSize + 8*w.Index
+		n := 8
+		if rem := a.bitmapBytes() - 8*w.Index; rem < n {
+			n = rem
+		}
+		a.dev.WriteAt(off, b[:n])
+	}
+	a.dev.WriteU32(highWaterOff, hw)
+}
+
+// TakeDirtyBits snapshots every bitmap word dirtied since the last take
+// (appending to dst) along with the current high-water mark, and clears
+// the dirty set. The persist pipeline calls it at enqueue time, so the
+// snapshot captures exactly the allocations and frees of the versions up
+// to the one being enqueued — the worker lands it before that version's
+// commit record flips. Mutator-only.
+func (a *Arena) TakeDirtyBits(dst []BitWord) ([]BitWord, uint32) {
+	for wi := range a.dirty {
+		var v uint64
+		if wi < len(a.liveWords) {
+			v = a.liveWords[wi]
+		}
+		dst = append(dst, BitWord{Index: wi, Val: v})
+		delete(a.dirty, wi)
+	}
+	return dst, a.highWater.Load()
+}
+
+// WriteBitsExclusive lands a TakeDirtyBits snapshot: the words are sorted
+// and adjacent ones coalesced into single exclusive device writes (a
+// step's allocations are near-sequential, so a few thousand bit flips
+// typically collapse into one span), then the high-water mark is stored.
+// Words given more than once apply last-wins, so a worker may concatenate
+// the snapshots of a whole commit group in enqueue order. Safe from the
+// persist worker: in deferred mode the mutator never writes the bitmap
+// or high-water device bytes itself. A power cut mid-span tears at line
+// granularity — untouched words keep their old durable value, which
+// describes only slots no durable root references (leaks at worst).
+func (a *Arena) WriteBitsExclusive(words []BitWord, highWater uint32) {
+	if len(words) > 0 {
+		sorted := make([]BitWord, len(words))
+		copy(sorted, words)
+		// Stable: duplicate Indexes keep their given order, so last-wins
+		// below really applies the NEWEST snapshot of a word. An unstable
+		// sort could land a pre-allocation value of a word over the
+		// snapshot that set the new version's bits — clearing, on the
+		// device, slots the version flipped right afterwards references.
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+		buf := make([]byte, 0, 8*len(sorted))
+		flush := func(start int) {
+			off := headerSize + 8*start
+			n := len(buf)
+			if rem := a.bitmapBytes() - 8*start; rem < n {
+				n = rem
+			}
+			a.dev.WriteAtExclusive(off, buf[:n])
+		}
+		start := -1
+		for i, w := range sorted {
+			if i > 0 && w.Index == sorted[i-1].Index {
+				// Duplicate: overwrite in place, last wins.
+				binary.LittleEndian.PutUint64(buf[len(buf)-8:], w.Val)
+				continue
+			}
+			if start >= 0 && w.Index != sorted[i-1].Index+1 {
+				flush(start)
+				buf = buf[:0]
+				start = -1
+			}
+			if start < 0 {
+				start = w.Index
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, w.Val)
+		}
+		if start >= 0 {
+			flush(start)
+		}
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], highWater)
+	a.dev.WriteAtExclusive(highWaterOff, b[:])
 }
 
 // ReadField copies len(p) payload bytes starting at field offset off.
