@@ -30,6 +30,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,10 +38,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"syscall"
 	"time"
 
 	"pmoctree"
+	"pmoctree/internal/router"
 	"pmoctree/internal/serve"
 	"pmoctree/internal/telemetry"
 )
@@ -54,6 +57,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "scheduler worker goroutines (0 = default)")
 		queue    = flag.Int("queue", 0, "admission queue depth (0 = default); full queue answers 503 + Retry-After")
 		batch    = flag.Int("batch", 0, "requests drained per worker wakeup (0 = default)")
+		shard    = flag.String("shard", "", "serve as shard `i/N`: region/agg requests without explicit klo/khi default to shard i's Z-order key span (0-based, e.g. -shard 1/4); explicit klo/khi overrides, so a router can serve a dead peer's span from this full copy")
+		drainFor = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight queries on SIGTERM/SIGINT")
 		simulate = flag.Int("simulate", 0, "continue the droplet workload for this many steps, publishing every commit")
 		maxLevel = flag.Int("maxlevel", 5, "maximum refinement level for -simulate")
 		stepTime = flag.Duration("steptime", 500*time.Millisecond, "pause between -simulate steps in serve mode")
@@ -124,6 +129,14 @@ func main() {
 	s.Close()
 
 	handler := serve.NewHandler(cat, sched)
+	if *shard != "" {
+		kr, err := router.ParseShardSpec(*shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+			os.Exit(2)
+		}
+		handler.RestrictSpan(kr)
+	}
 	traces := telemetry.NewTraceSink(*traceCap)
 	handler.SetTraceSink(traces)
 	if *traceDump != "" {
@@ -144,8 +157,12 @@ func main() {
 	})
 	health.SetReady(true)
 
+	// The drainer wraps only the query surface: /metrics, /healthz, and
+	// /readyz stay reachable while a drain runs, so the balancer can watch
+	// readiness flip before the first refusal.
+	drainer := serve.NewDrainer(handler, health, sched.RetryAfter(), reg)
 	mux := http.NewServeMux()
-	mux.Handle("/", handler)
+	mux.Handle("/", drainer)
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -170,12 +187,12 @@ func main() {
 			os.Exit(2)
 		}
 		runSimulation(tree, cat, *simulate, *maxLevel, 0)
-		doc, err := runLoadgen(mux, *script, *lgClients, *lgRequests)
+		doc, err := serve.RunLoadgen(mux, *script, *lgClients, *lgRequests)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmserve: loadgen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pmserve: loadgen complete (%d clients):\n%s", *lgClients, summarizeSLO(doc))
+		fmt.Fprintf(os.Stderr, "pmserve: loadgen complete (%d clients):\n%s", *lgClients, serve.SummarizeSLO(doc))
 		out := io.Writer(os.Stdout)
 		if *sloOut != "" {
 			f, err := os.Create(*sloOut)
@@ -186,7 +203,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := writeSLO(out, doc); err != nil {
+		if err := serve.WriteSLO(out, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
 			os.Exit(1)
 		}
@@ -215,7 +232,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pmserve: serving %d version(s) of %s on http://%s (try /v1/versions)\n",
 		len(cat.Steps()), *image, ln.Addr())
-	if err := http.Serve(ln, mux); err != nil {
+	srv := &http.Server{Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		<-sig
+		// Graceful shutdown: readiness flips first, new queries get 503 +
+		// Retry-After, in-flight queries drain bounded by -drain.
+		fmt.Fprintf(os.Stderr, "pmserve: draining (up to %v)\n", *drainFor)
+		if !drainer.Shutdown(*drainFor) {
+			fmt.Fprintln(os.Stderr, "pmserve: drain timeout expired with queries in flight")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
 		os.Exit(1)
 	}

@@ -208,6 +208,26 @@ func (c Code) String() string {
 	return fmt.Sprintf("L%d:(%d,%d,%d)", l, x, y, z)
 }
 
+// ParseCode inverts String: "L3:(1,4,2)" parses to the code of the
+// level-3 octant anchored at (1,4,2). Wire formats (the serve HTTP
+// responses) carry codes in String form; distributed clients parse them
+// back with this.
+func ParseCode(s string) (Code, error) {
+	var x, y, z uint32
+	var l uint8
+	if _, err := fmt.Sscanf(s, "L%d:(%d,%d,%d)", &l, &x, &y, &z); err != nil {
+		return 0, fmt.Errorf("morton: cannot parse code %q: %v", s, err)
+	}
+	if l > MaxLevel {
+		return 0, fmt.Errorf("morton: code %q level %d exceeds max %d", s, l, MaxLevel)
+	}
+	limit := uint32(1) << l
+	if x >= limit || y >= limit || z >= limit {
+		return 0, fmt.Errorf("morton: code %q anchor outside its level-%d grid", s, l)
+	}
+	return Encode(x, y, z, l), nil
+}
+
 // Center returns the octant's center in the unit cube [0,1)^3.
 func (c Code) Center() (cx, cy, cz float64) {
 	x, y, z, l := c.Decode()

@@ -352,3 +352,24 @@ func TestQuickKeyOrderEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// Property: ParseCode inverts String for random codes, and rejects
+// malformed or out-of-grid inputs.
+func TestParseCodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 1000; i++ {
+		c := randCode(r)
+		got, err := ParseCode(c.String())
+		if err != nil {
+			t.Fatalf("ParseCode(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseCode(String(%v)) = %v", c, got)
+		}
+	}
+	for _, bad := range []string{"", "L4", "4:(1,2,3)", "L99:(0,0,0)", "L2:(4,0,0)", "L2:(0,0"} {
+		if _, err := ParseCode(bad); err == nil {
+			t.Fatalf("ParseCode(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused locally until OpenTimeout passes.
+	BreakerOpen
+	// BreakerHalfOpen: probe traffic is admitted; successes re-close the
+	// breaker, any failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips
+	// Closed -> Open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays Open before admitting a
+	// half-open probe (default 2s).
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is the consecutive-success count that closes a
+	// half-open breaker (default 2).
+	HalfOpenSuccesses int
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 2 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker. It exists to stop the router
+// from queuing work behind a dead backend: once trips accumulate, calls
+// fail fast locally (no connection attempt, no timeout burn) and the
+// backend gets OpenTimeout of quiet to recover, after which a trickle of
+// probes decides whether to re-close.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while Closed
+	okStreak int // consecutive successes while HalfOpen
+	openedAt time.Time
+
+	// onTransition, when set, observes every state change (metrics/flight
+	// hooks). Called with the breaker's lock held — keep it non-blocking.
+	onTransition func(from, to BreakerState)
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// OnTransition installs the state-change observer.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// State returns the current position (Open may flip to HalfOpen only via
+// Allow, so an idle open breaker reports Open even past its timeout).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. An Open breaker past its
+// timeout transitions to HalfOpen and admits the caller as the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+			b.okStreak = 0
+			b.transition(BreakerHalfOpen)
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// OnSuccess records a successful call.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.okStreak++
+		if b.okStreak >= b.cfg.HalfOpenSuccesses {
+			b.fails = 0
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// OnFailure records a failed call.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.openedAt = b.cfg.Now()
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		// The probe failed: back to Open for a fresh quiet period.
+		b.openedAt = b.cfg.Now()
+		b.transition(BreakerOpen)
+	}
+}

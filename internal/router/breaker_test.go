@@ -1,0 +1,127 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives the breaker through scripted event
+// sequences on an injected clock and checks the state after every event.
+// Event legend: 'f' = OnFailure, 's' = OnSuccess, 'a' = Allow (expected
+// true), 'r' = Allow refused (expected false), 'w' = advance the clock
+// past OpenTimeout.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, HalfOpenSuccesses: 2}
+
+	cases := []struct {
+		name   string
+		script string
+		want   []BreakerState // state after each event
+	}{
+		{
+			name:   "trips after threshold consecutive failures",
+			script: "ff f",
+			want:   []BreakerState{BreakerClosed, BreakerClosed, BreakerOpen},
+		},
+		{
+			name:   "success resets the failure streak",
+			script: "ffsff",
+			want:   []BreakerState{BreakerClosed, BreakerClosed, BreakerClosed, BreakerClosed, BreakerClosed},
+		},
+		{
+			name:   "open refuses until the timeout, then half-opens",
+			script: "fff r w a",
+			want:   []BreakerState{BreakerClosed, BreakerClosed, BreakerOpen, BreakerOpen, BreakerOpen, BreakerHalfOpen},
+		},
+		{
+			name:   "half-open closes after enough successes",
+			script: "fff w a s s",
+			want:   []BreakerState{BreakerClosed, BreakerClosed, BreakerOpen, BreakerOpen, BreakerHalfOpen, BreakerHalfOpen, BreakerClosed},
+		},
+		{
+			name:   "half-open failure reopens for a fresh quiet period",
+			script: "fff w a s f r w a",
+			want: []BreakerState{
+				BreakerClosed, BreakerClosed, BreakerOpen, BreakerOpen, BreakerHalfOpen,
+				BreakerHalfOpen, BreakerOpen, BreakerOpen, BreakerOpen, BreakerHalfOpen,
+			},
+		},
+		{
+			name:   "closed after recovery counts failures from scratch",
+			script: "fff w a s s ff f",
+			want: []BreakerState{
+				BreakerClosed, BreakerClosed, BreakerOpen, BreakerOpen, BreakerHalfOpen,
+				BreakerHalfOpen, BreakerClosed, BreakerClosed, BreakerClosed, BreakerOpen,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			now := time.Unix(0, 0)
+			c := cfg
+			c.Now = func() time.Time { return now }
+			b := NewBreaker(c)
+			var transitions int
+			b.OnTransition(func(from, to BreakerState) { transitions++ })
+
+			i := 0
+			for _, ev := range tc.script {
+				switch ev {
+				case ' ':
+					continue
+				case 'f':
+					b.OnFailure()
+				case 's':
+					b.OnSuccess()
+				case 'w':
+					now = now.Add(cfg.OpenTimeout)
+				case 'a':
+					if !b.Allow() {
+						t.Fatalf("event %d (%c): Allow() = false, want true", i, ev)
+					}
+				case 'r':
+					if b.Allow() {
+						t.Fatalf("event %d (%c): Allow() = true, want refused", i, ev)
+					}
+				default:
+					t.Fatalf("bad script event %c", ev)
+				}
+				if got := b.State(); got != tc.want[i] {
+					t.Fatalf("after event %d (%c): state = %v, want %v", i, ev, got, tc.want[i])
+				}
+				i++
+			}
+			if i != len(tc.want) {
+				t.Fatalf("script has %d events, want table covers %d", i, len(tc.want))
+			}
+			if transitions == 0 && tc.name != "success resets the failure streak" {
+				t.Fatalf("no transitions observed")
+			}
+		})
+	}
+}
+
+// TestBreakerAllowWhileClosed: a closed breaker admits everything and an
+// idle open breaker reports Open from State() without flipping.
+func TestBreakerAllowWhileClosed(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: func() time.Time { return now }})
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+	}
+	b.OnFailure()
+	now = now.Add(2 * time.Second)
+	// State() alone must not half-open; only Allow admits the probe.
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("State() = %v, want Open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("Allow() after timeout = false, want probe admitted")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("State() = %v, want HalfOpen", got)
+	}
+}

@@ -1,0 +1,166 @@
+package router
+
+import "sync"
+
+// HealthState is a shard's health as the router sees it.
+type HealthState int
+
+const (
+	// Healthy: the shard serves normally and is preferred.
+	Healthy HealthState = iota
+	// Degraded: the shard answers but is shedding load (sustained
+	// saturation); it stays routable, but hedges fire eagerly against it.
+	Degraded
+	// Down: the shard fails hard (connection refused, timeouts, failed
+	// probes); the router skips it and goes straight to fallbacks.
+	Down
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthConfig sets the hysteresis thresholds. Every transition needs a
+// streak, in both directions, so one blip never flaps routing state.
+type HealthConfig struct {
+	// DownAfter: consecutive hard failures that mark a shard Down
+	// (default 3).
+	DownAfter int
+	// ReviveAfter: consecutive successes that bring a Down shard back to
+	// Healthy (default 2).
+	ReviveAfter int
+	// DegradeAfter: consecutive saturation rejections that mark a shard
+	// Degraded (default 3).
+	DegradeAfter int
+	// ClearAfter: consecutive clean successes that clear Degraded
+	// (default 2).
+	ClearAfter int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.ReviveAfter <= 0 {
+		c.ReviveAfter = 2
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 2
+	}
+	return c
+}
+
+// HealthTracker is the per-shard health state machine. It is fed every
+// request and probe outcome, classified three ways: success, saturation
+// (the shard is alive but rejecting with backpressure), and hard failure
+// (connection errors, timeouts, failed probes).
+//
+// Transitions (all streak-gated by HealthConfig):
+//
+//	any      --DownAfter hard failures-->    Down
+//	Healthy  --DegradeAfter saturations-->   Degraded
+//	Degraded --ClearAfter successes-->       Healthy
+//	Down     --ReviveAfter successes-->      Healthy
+//
+// Saturation does not revive a Down shard (a dying process can still
+// emit one 503), and any hard failure resets revival/clearing streaks.
+type HealthTracker struct {
+	cfg HealthConfig
+
+	mu        sync.Mutex
+	state     HealthState
+	hardFails int
+	okays     int // consecutive successes while Down
+	cleans    int // consecutive successes while Degraded
+	sats      int // consecutive saturations
+
+	onTransition func(from, to HealthState)
+}
+
+// NewHealthTracker starts Healthy.
+func NewHealthTracker(cfg HealthConfig) *HealthTracker {
+	return &HealthTracker{cfg: cfg.withDefaults()}
+}
+
+// OnTransition installs the state-change observer. Called with the
+// tracker's lock held — keep it non-blocking.
+func (t *HealthTracker) OnTransition(fn func(from, to HealthState)) {
+	t.mu.Lock()
+	t.onTransition = fn
+	t.mu.Unlock()
+}
+
+func (t *HealthTracker) transition(to HealthState) {
+	from := t.state
+	if from == to {
+		return
+	}
+	t.state = to
+	if t.onTransition != nil {
+		t.onTransition(from, to)
+	}
+}
+
+// State returns the current health.
+func (t *HealthTracker) State() HealthState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// ObserveSuccess records a served request or passing probe.
+func (t *HealthTracker) ObserveSuccess() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hardFails = 0
+	t.sats = 0
+	t.okays++
+	t.cleans++
+	switch t.state {
+	case Down:
+		if t.okays >= t.cfg.ReviveAfter {
+			t.transition(Healthy)
+		}
+	case Degraded:
+		if t.cleans >= t.cfg.ClearAfter {
+			t.transition(Healthy)
+		}
+	}
+}
+
+// ObserveSaturated records a backpressure rejection (503 + Retry-After).
+func (t *HealthTracker) ObserveSaturated() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hardFails = 0
+	t.okays = 0
+	t.cleans = 0
+	t.sats++
+	if t.state != Down && t.sats >= t.cfg.DegradeAfter {
+		t.transition(Degraded)
+	}
+}
+
+// ObserveFailure records a hard failure (connection error, timeout,
+// failed probe).
+func (t *HealthTracker) ObserveFailure() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.okays = 0
+	t.cleans = 0
+	t.hardFails++
+	if t.hardFails >= t.cfg.DownAfter {
+		t.transition(Down)
+	}
+}

@@ -1,0 +1,81 @@
+package router
+
+import "testing"
+
+// TestHealthTrackerStateMachine drives the per-shard health tracker
+// through scripted outcome sequences and checks the resulting state.
+// Event legend: 's' = success, 'b' = saturated (busy), 'f' = hard
+// failure.
+func TestHealthTrackerStateMachine(t *testing.T) {
+	cfg := HealthConfig{DownAfter: 3, ReviveAfter: 2, DegradeAfter: 3, ClearAfter: 2}
+
+	cases := []struct {
+		name   string
+		script string
+		want   HealthState
+	}{
+		{"starts healthy", "", Healthy},
+		{"two failures keep it healthy", "ff", Healthy},
+		{"three consecutive failures mark it down", "fff", Down},
+		{"a success resets the failure streak", "ffsff", Healthy},
+		{"one success does not revive", "fffs", Down},
+		{"revival needs a success streak", "fffss", Healthy},
+		{"failure resets the revival streak", "fffsfss", Healthy},
+		{"interrupted revival stays down", "fffsfs", Down},
+		{"sustained saturation degrades", "bbb", Degraded},
+		{"brief saturation does not degrade", "bbsbb", Healthy},
+		{"degraded needs a clean streak to clear", "bbbs", Degraded},
+		{"degraded clears after the streak", "bbbss", Healthy},
+		{"saturation does not revive a down shard", "fffbbbbbb", Down},
+		{"down revives on successes even after saturation", "fffbss", Healthy},
+		{"degraded shard that starts failing goes down", "bbbfff", Down},
+		{"full cycle down then degraded", "fffssbbb", Degraded},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewHealthTracker(cfg)
+			for i, ev := range tc.script {
+				switch ev {
+				case 's':
+					tr.ObserveSuccess()
+				case 'b':
+					tr.ObserveSaturated()
+				case 'f':
+					tr.ObserveFailure()
+				default:
+					t.Fatalf("bad script event %c at %d", ev, i)
+				}
+			}
+			if got := tr.State(); got != tc.want {
+				t.Fatalf("after %q: state = %v, want %v", tc.script, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHealthTrackerTransitions: the observer sees every flip exactly
+// once, with correct from/to pairs.
+func TestHealthTrackerTransitions(t *testing.T) {
+	tr := NewHealthTracker(HealthConfig{DownAfter: 2, ReviveAfter: 1, DegradeAfter: 2, ClearAfter: 1})
+	type flip struct{ from, to HealthState }
+	var got []flip
+	tr.OnTransition(func(from, to HealthState) { got = append(got, flip{from, to}) })
+
+	tr.ObserveFailure()
+	tr.ObserveFailure() // -> Down
+	tr.ObserveSuccess() // -> Healthy
+	tr.ObserveSaturated()
+	tr.ObserveSaturated() // -> Degraded
+	tr.ObserveSuccess()   // -> Healthy
+
+	want := []flip{{Healthy, Down}, {Down, Healthy}, {Healthy, Degraded}, {Degraded, Healthy}}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

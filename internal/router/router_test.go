@@ -1,0 +1,791 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/nvbm"
+	"pmoctree/internal/serve"
+	"pmoctree/internal/sim"
+	"pmoctree/internal/telemetry"
+)
+
+const testMaxLevel = 4
+
+// shardFixture is one in-process shard: a deterministic droplet tree with
+// its committed versions published into a catalog.
+type shardFixture struct {
+	be    *LocalBackend
+	cat   *serve.Catalog
+	sched *serve.Scheduler
+}
+
+// buildBackend runs the droplet workload for `steps` commits, publishing
+// every commit, keeping the newest `keep` in the catalog. The droplet sim
+// is deterministic, so every fixture with the same step count holds
+// bit-identical committed versions — the full-copy shard model.
+func buildBackend(t testing.TB, name string, steps, keep int) *shardFixture {
+	t.Helper()
+	// Fixed nominal duration: step s maps to time s/Steps, so every
+	// fixture must share the same denominator for step s to be the same
+	// physical state regardless of how many steps it commits.
+	d := sim.NewDroplet(sim.DropletConfig{Steps: 16})
+	tree := core.Create(core.Config{
+		NVBMDevice: nvbm.New(nvbm.NVBM, 0),
+		DRAMDevice: nvbm.New(nvbm.DRAM, 0),
+	})
+	tree.SetFeatures(d.Feature(1))
+	cat := serve.NewCatalog(tree, serve.Config{Keep: keep})
+	for s := 1; s <= steps; s++ {
+		sim.Step(tree, d, s, testMaxLevel)
+		tree.SetFeatures(d.Feature(s + 1))
+		tree.Persist()
+		snap, err := cat.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Close()
+	}
+	sched := serve.NewScheduler(serve.SchedulerConfig{})
+	fx := &shardFixture{be: NewLocalBackend(name, cat, sched), cat: cat, sched: sched}
+	t.Cleanup(func() {
+		sched.Close()
+		cat.Close()
+	})
+	return fx
+}
+
+// instantSleep removes real backoff waits from tests.
+func instantSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+var testBoxes = []serve.Box{
+	{Min: [3]float64{0, 0, 0}, Max: [3]float64{1, 1, 1}},
+	{Min: [3]float64{0.2, 0.2, 0.2}, Max: [3]float64{0.4, 0.35, 0.3}},
+	{Min: [3]float64{0.45, 0.45, 0.45}, Max: [3]float64{0.55, 0.55, 0.55}},
+	{Min: [3]float64{0.7, 0.1, 0.6}, Max: [3]float64{0.9, 0.2, 0.8}},
+	{Min: [3]float64{0.01, 0.8, 0.03}, Max: [3]float64{0.12, 0.99, 0.2}},
+}
+
+// gatedBackend fails every call with ErrBackendDown while down is set.
+type gatedBackend struct {
+	Backend
+	down atomic.Bool
+}
+
+func (g *gatedBackend) gate() error {
+	if g.down.Load() {
+		return errors.New("gated: process killed")
+	}
+	return nil
+}
+
+func (g *gatedBackend) Point(ctx context.Context, v uint64, x, y, z float64) (serve.PointResult, error) {
+	if err := g.gate(); err != nil {
+		return serve.PointResult{}, errors.Join(ErrBackendDown, err)
+	}
+	return g.Backend.Point(ctx, v, x, y, z)
+}
+
+func (g *gatedBackend) Region(ctx context.Context, v uint64, box serve.Box, kr serve.KeyRange) (RegionResult, error) {
+	if err := g.gate(); err != nil {
+		return RegionResult{}, errors.Join(ErrBackendDown, err)
+	}
+	return g.Backend.Region(ctx, v, box, kr)
+}
+
+func (g *gatedBackend) Aggregate(ctx context.Context, v uint64, field int, box serve.Box, kr serve.KeyRange) (serve.AggResult, error) {
+	if err := g.gate(); err != nil {
+		return serve.AggResult{}, errors.Join(ErrBackendDown, err)
+	}
+	return g.Backend.Aggregate(ctx, v, field, box, kr)
+}
+
+func (g *gatedBackend) Versions(ctx context.Context) ([]uint64, error) {
+	if err := g.gate(); err != nil {
+		return nil, errors.Join(ErrBackendDown, err)
+	}
+	return g.Backend.Versions(ctx)
+}
+
+func (g *gatedBackend) Probe(ctx context.Context) error {
+	if err := g.gate(); err != nil {
+		return errors.Join(ErrBackendDown, err)
+	}
+	return g.Backend.Probe(ctx)
+}
+
+// flakyBackend fails the first n calls, then behaves.
+type flakyBackend struct {
+	Backend
+	mu   sync.Mutex
+	left int
+}
+
+func (f *flakyBackend) trip() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left > 0 {
+		f.left--
+		return true
+	}
+	return false
+}
+
+func (f *flakyBackend) Point(ctx context.Context, v uint64, x, y, z float64) (serve.PointResult, error) {
+	if f.trip() {
+		return serve.PointResult{}, ErrBackendDown
+	}
+	return f.Backend.Point(ctx, v, x, y, z)
+}
+
+func (f *flakyBackend) Region(ctx context.Context, v uint64, box serve.Box, kr serve.KeyRange) (RegionResult, error) {
+	if f.trip() {
+		return RegionResult{}, ErrBackendDown
+	}
+	return f.Backend.Region(ctx, v, box, kr)
+}
+
+// slowBackend delays every query until the delay passes or ctx dies.
+type slowBackend struct {
+	Backend
+	delay time.Duration
+}
+
+func (s *slowBackend) wait(ctx context.Context) error {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (s *slowBackend) Point(ctx context.Context, v uint64, x, y, z float64) (serve.PointResult, error) {
+	if err := s.wait(ctx); err != nil {
+		return serve.PointResult{}, err
+	}
+	return s.Backend.Point(ctx, v, x, y, z)
+}
+
+// replay answers a query against the reference catalog the way the
+// router's scatter does: per-span partials merged in span order. For
+// regions this equals the plain single-tree answer; for aggregates it is
+// the well-defined distributed answer (bitwise-stable given the span
+// layout).
+func replayRegion(t *testing.T, ref *shardFixture, step uint64, box serve.Box) []serve.LeafHit {
+	t.Helper()
+	s, err := ref.cat.Acquire(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hits, err := s.RegionIn(box, serve.KeyRange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hits
+}
+
+func sameHits(a, b []serve.LeafHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Code != b[i].Code || a[i].Data != b[i].Data {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoutedQueriesMatchSingleTree: for every committed version and
+// Latest, routed point/region/aggregate answers are identical to a
+// single-tree replay, with degraded=false and the exact version served.
+func TestRoutedQueriesMatchSingleTree(t *testing.T) {
+	const steps = 4
+	ref := buildBackend(t, "ref", steps, steps)
+	shards := []ShardConfig{
+		{Primary: buildBackend(t, "s0", steps, steps).be},
+		{Primary: buildBackend(t, "s1", steps, steps).be},
+		{Primary: buildBackend(t, "s2", steps, steps).be},
+	}
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{Shards: shards, Seed: 42, Registry: reg, Sleep: instantSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	published := ref.cat.Steps()
+	if len(published) != steps {
+		t.Fatalf("reference catalog has %d versions, want %d", len(published), steps)
+	}
+	versions := append([]uint64{Latest}, published...)
+	latest := published[len(published)-1]
+
+	for _, v := range versions {
+		wantStep := v
+		if v == Latest {
+			wantStep = latest
+		}
+		for _, box := range testBoxes {
+			ans, err := r.Region(ctx, v, box)
+			if err != nil {
+				t.Fatalf("Region(v=%d, %+v): %v", v, box, err)
+			}
+			if ans.Degraded || ans.ServedStep != wantStep {
+				t.Fatalf("Region(v=%d): degraded=%v served=%d, want clean serve of %d", v, ans.Degraded, ans.ServedStep, wantStep)
+			}
+			want := replayRegion(t, ref, wantStep, box)
+			if !sameHits(ans.Hits, want) {
+				t.Fatalf("Region(v=%d, %+v): %d hits != replay %d hits", v, box, len(ans.Hits), len(want))
+			}
+
+			agg, err := r.Aggregate(ctx, v, 0, box)
+			if err != nil {
+				t.Fatalf("Aggregate(v=%d): %v", v, err)
+			}
+			// Replay the distributed merge exactly: per-span partials in
+			// span order.
+			s, err := ref.cat.Acquire(wantStep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAgg := serve.AggResult{Step: wantStep}
+			first := true
+			for i := 0; i < r.Map().Len(); i++ {
+				part, err := s.AggregateIn(0, box, r.Map().Span(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if part.Count == 0 {
+					continue
+				}
+				wantAgg.Count += part.Count
+				wantAgg.Sum += part.Sum
+				wantAgg.VolSum += part.VolSum
+				if first || part.Min < wantAgg.Min {
+					wantAgg.Min = part.Min
+				}
+				if first || part.Max > wantAgg.Max {
+					wantAgg.Max = part.Max
+				}
+				first = false
+			}
+			whole, err := s.Aggregate(0, box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			if agg.Result != wantAgg {
+				t.Fatalf("Aggregate(v=%d, %+v) = %+v, want %+v", v, box, agg.Result, wantAgg)
+			}
+			if agg.Result.Count != whole.Count ||
+				math.Abs(agg.Result.Sum-whole.Sum) > 1e-9*(1+math.Abs(whole.Sum)) {
+				t.Fatalf("Aggregate(v=%d) diverges from single-tree: %+v vs %+v", v, agg.Result, whole)
+			}
+		}
+		for _, x := range []float64{0.01, 0.33, 0.5, 0.74, 0.99} {
+			ans, err := r.Point(ctx, v, x, x/2, 1-x)
+			if err != nil {
+				t.Fatalf("Point(v=%d, %v): %v", v, x, err)
+			}
+			s, err := ref.cat.Acquire(wantStep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.Point(x, x/2, 1-x)
+			s.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ans.Result.Code != want.Code || ans.Result.Data != want.Data || ans.Result.Step != want.Step {
+				t.Fatalf("Point(v=%d): %+v != replay %+v", v, ans.Result, want)
+			}
+		}
+	}
+	if _, err := r.Point(ctx, Latest, 1.5, 0, 0); !errors.Is(err, serve.ErrOutOfDomain) {
+		t.Fatalf("out-of-domain point = %v, want ErrOutOfDomain", err)
+	}
+	if _, err := r.Region(ctx, Latest, serve.Box{Min: [3]float64{0.5, 0, 0}, Max: [3]float64{0.4, 1, 1}}); !errors.Is(err, serve.ErrBadRegion) {
+		t.Fatalf("inverted box = %v, want ErrBadRegion", err)
+	}
+}
+
+// TestRouterRetriesTransientFailures: a backend that fails its first two
+// calls is retried with backoff and ends up serving from the primary.
+func TestRouterRetriesTransientFailures(t *testing.T) {
+	fx := buildBackend(t, "s0", 2, 2)
+	flaky := &flakyBackend{Backend: fx.be, left: 2}
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{
+		Shards:   []ShardConfig{{Primary: flaky}},
+		MaxRetries: 3,
+		Registry: reg,
+		Sleep:    instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ans, err := r.Point(context.Background(), Latest, 0.5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Degraded || len(ans.ServedBy) != 1 || ans.ServedBy[0] != "shard0" {
+		t.Fatalf("answer = %+v, want clean primary serve", ans.Envelope)
+	}
+	if got := reg.Counter("router.retries").Value(); got < 2 {
+		t.Fatalf("router.retries = %d, want >= 2", got)
+	}
+}
+
+// TestRouterReplicaFallback: a shard whose primary is dead serves from
+// its recovery replica at the exact requested version — a failover, not
+// a degradation.
+func TestRouterReplicaFallback(t *testing.T) {
+	const steps = 3
+	primary := &gatedBackend{Backend: buildBackend(t, "s0", steps, steps).be}
+	primary.down.Store(true)
+	replica := buildBackend(t, "s0-replica", steps, steps)
+	other := buildBackend(t, "s1", steps, steps)
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{
+		Shards: []ShardConfig{
+			{Primary: primary, Replica: replica.be},
+			{Primary: other.be},
+		},
+		MaxRetries: 1,
+		Registry:   reg,
+		Sleep:      instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// A point owned by shard 0 (origin corner has the smallest keys).
+	step := replica.cat.Steps()[steps-1]
+	ans, err := r.Point(context.Background(), step, 0.01, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Degraded {
+		t.Fatalf("replica serve at exact version marked degraded: %+v", ans.Envelope)
+	}
+	if len(ans.ServedBy) != 1 || ans.ServedBy[0] != "shard0/replica" {
+		t.Fatalf("served_by = %v, want [shard0/replica]", ans.ServedBy)
+	}
+	if ans.ServedStep != step {
+		t.Fatalf("served step %d, want %d", ans.ServedStep, step)
+	}
+	if reg.Counter("router.fallback.replica").Value() == 0 {
+		t.Fatal("router.fallback.replica not incremented")
+	}
+}
+
+// TestRouterTakeover: with no replica, a dead shard's span is served by a
+// healthy peer (full-copy arenas make the answer exact), and the merged
+// region still matches single-tree replay.
+func TestRouterTakeover(t *testing.T) {
+	const steps = 3
+	ref := buildBackend(t, "ref", steps, steps)
+	primary0 := &gatedBackend{Backend: buildBackend(t, "s0", steps, steps).be}
+	primary0.down.Store(true)
+	other := buildBackend(t, "s1", steps, steps)
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{
+		Shards:     []ShardConfig{{Primary: primary0}, {Primary: other.be}},
+		MaxRetries: 0,
+		Registry:   reg,
+		Sleep:      instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	box := testBoxes[0] // whole domain: touches both spans
+	ans, err := r.Region(context.Background(), Latest, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Degraded {
+		t.Fatalf("takeover at exact version marked degraded: %+v", ans.Envelope)
+	}
+	want := replayRegion(t, ref, ans.ServedStep, box)
+	if !sameHits(ans.Hits, want) {
+		t.Fatalf("takeover region: %d hits != replay %d", len(ans.Hits), len(want))
+	}
+	foundTakeover := false
+	for _, src := range ans.ServedBy {
+		if src == "shard0/peer:1" {
+			foundTakeover = true
+		}
+	}
+	if !foundTakeover {
+		t.Fatalf("served_by = %v, want shard0/peer:1", ans.ServedBy)
+	}
+	if reg.Counter("router.fallback.takeover").Value() == 0 {
+		t.Fatal("router.fallback.takeover not incremented")
+	}
+}
+
+// TestRouterStaleFallback: when a span's sources lack the requested
+// version, the scatter retargets to the newest version available
+// everywhere and labels the answer degraded/stale_version.
+func TestRouterStaleFallback(t *testing.T) {
+	// The client pins a version it saw before the shard fleet restarted;
+	// the rebuilt catalogs only recovered the two newest-but-older steps,
+	// so no source anywhere holds the requested one.
+	ref := buildBackend(t, "ref", 5, 5)
+	s0 := buildBackend(t, "s0", 4, 2) // holds steps {3,4}
+	s1 := buildBackend(t, "s1", 4, 2) // holds steps {3,4}
+	r, err := New(Config{
+		Shards:     []ShardConfig{{Primary: s0.be}, {Primary: s1.be}},
+		MaxRetries: 0,
+		Sleep:      instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	refSteps := ref.cat.Steps()
+	requested := refSteps[len(refSteps)-1] // step 5: committed upstream, lost by the fleet
+	s0Steps := s0.cat.Steps()
+	wantServed := s0Steps[len(s0Steps)-1] // step 4: newest step held everywhere
+
+	ans, err := r.Region(context.Background(), requested, testBoxes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Degraded || ans.ServedStep != wantServed {
+		t.Fatalf("degraded=%v served=%d, want degraded serve of %d", ans.Degraded, ans.ServedStep, wantServed)
+	}
+	found := false
+	for _, reason := range ans.Reasons {
+		if reason == "stale_version" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded_reason = %v, want stale_version", ans.Reasons)
+	}
+	// The stale answer must still be a real committed version, served
+	// bit-identically.
+	want := replayRegion(t, ref, wantServed, testBoxes[0])
+	if !sameHits(ans.Hits, want) {
+		t.Fatalf("stale region is not the committed step-%d answer", wantServed)
+	}
+}
+
+// TestRouterBreakerAndRecovery: a dying shard trips its breaker and goes
+// Down; queries keep flowing via takeover; probes revive it and the
+// breaker re-closes after its quiet period.
+func TestRouterBreakerAndRecovery(t *testing.T) {
+	const steps = 2
+	primary0 := &gatedBackend{Backend: buildBackend(t, "s0", steps, steps).be}
+	primary0.down.Store(true)
+	other := buildBackend(t, "s1", steps, steps)
+
+	var clockMu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	r, err := New(Config{
+		Shards:     []ShardConfig{{Primary: primary0}, {Primary: other.be}},
+		MaxRetries: 0,
+		Breaker:    BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Second, HalfOpenSuccesses: 2, Now: clock},
+		Health:     HealthConfig{DownAfter: 2, ReviveAfter: 2, DegradeAfter: 3, ClearAfter: 2},
+		Sleep:      instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	// Three failing queries: trips the breaker (2 failures) and marks the
+	// shard Down (2 failures); every answer still arrives via takeover.
+	for i := 0; i < 3; i++ {
+		ans, err := r.Point(ctx, Latest, 0.01, 0.01, 0.01)
+		if err != nil {
+			t.Fatalf("query %d during outage: %v", i, err)
+		}
+		if ans.Degraded {
+			t.Fatalf("query %d: takeover marked degraded", i)
+		}
+	}
+	info := r.Shards()
+	if info[0].Health != "down" {
+		t.Fatalf("shard0 health = %s, want down (breaker=%s)", info[0].Health, info[0].Breaker)
+	}
+	if info[0].Breaker != "open" {
+		t.Fatalf("shard0 breaker = %s, want open", info[0].Breaker)
+	}
+
+	// Shard recovers: probes revive health, the open timeout admits the
+	// half-open probes, and successes close the breaker.
+	primary0.down.Store(false)
+	r.Probe(ctx)
+	r.Probe(ctx)
+	if got := r.Shards()[0].Health; got != "healthy" {
+		t.Fatalf("shard0 health after probes = %s, want healthy", got)
+	}
+	advance(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		ans, err := r.Point(ctx, Latest, 0.01, 0.01, 0.01)
+		if err != nil {
+			t.Fatalf("query %d after recovery: %v", i, err)
+		}
+		if i == 2 && (len(ans.ServedBy) != 1 || ans.ServedBy[0] != "shard0") {
+			t.Fatalf("after recovery served_by = %v, want [shard0]", ans.ServedBy)
+		}
+	}
+	if got := r.Shards()[0].Breaker; got != "closed" {
+		t.Fatalf("shard0 breaker after recovery = %s, want closed", got)
+	}
+}
+
+// TestRouterHedgedReads: a slow primary is hedged against the replica;
+// the replica's answer wins and is labeled, and the hedge counters move.
+func TestRouterHedgedReads(t *testing.T) {
+	const steps = 2
+	slow := &slowBackend{Backend: buildBackend(t, "s0", steps, steps).be, delay: 30 * time.Second}
+	replica := buildBackend(t, "s0-replica", steps, steps)
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{
+		Shards:     []ShardConfig{{Primary: slow, Replica: replica.be}},
+		MaxRetries: 0,
+		HedgeDelay: 5 * time.Millisecond,
+		Registry:   reg,
+		Sleep:      instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ans, err := r.Point(ctx, Latest, 0.5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.ServedBy) != 1 || ans.ServedBy[0] != "shard0/replica" {
+		t.Fatalf("served_by = %v, want [shard0/replica]", ans.ServedBy)
+	}
+	if reg.Counter("router.hedges").Value() == 0 || reg.Counter("router.hedge_wins").Value() == 0 {
+		t.Fatalf("hedges=%d hedge_wins=%d, want both > 0",
+			reg.Counter("router.hedges").Value(), reg.Counter("router.hedge_wins").Value())
+	}
+}
+
+// TestHTTPBackendRoundTrip: the HTTP backend over a real pmserve handler
+// returns the same answers as the local backend, and maps error statuses
+// back to the typed taxonomy.
+func TestHTTPBackendRoundTrip(t *testing.T) {
+	const steps = 3
+	fx := buildBackend(t, "local", steps, steps)
+	srv := httptest.NewServer(serve.NewHandler(fx.cat, fx.sched))
+	defer srv.Close()
+	hb := NewHTTPBackend("http", srv.URL, nil)
+	ctx := context.Background()
+
+	steps0 := fx.cat.Steps()
+	latest := steps0[len(steps0)-1]
+
+	vs, err := hb.Versions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(steps0) {
+		t.Fatalf("Versions = %v, want %v", vs, steps0)
+	}
+
+	for _, v := range []uint64{Latest, latest, steps0[0]} {
+		want, err := fx.be.Point(ctx, v, 0.3, 0.6, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := hb.Point(ctx, v, 0.3, 0.6, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Point over HTTP = %+v, want %+v", got, want)
+		}
+
+		kr := UniformSpans(2)[1]
+		wantR, err := fx.be.Region(ctx, v, testBoxes[1], kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := hb.Region(ctx, v, testBoxes[1], kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotR.Step != wantR.Step || !sameHits(gotR.Hits, wantR.Hits) {
+			t.Fatalf("Region over HTTP = %+v, want %+v", gotR, wantR)
+		}
+
+		wantA, err := fx.be.Aggregate(ctx, v, 1, testBoxes[2], serve.KeyRange{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, err := hb.Aggregate(ctx, v, 1, testBoxes[2], serve.KeyRange{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotA != wantA {
+			t.Fatalf("Aggregate over HTTP = %+v, want %+v", gotA, wantA)
+		}
+	}
+
+	// Version miss maps to NoSuchVersionError with availability.
+	_, err = hb.Point(ctx, latest+100, 0.5, 0.5, 0.5)
+	avail, ok := availableVersions(err)
+	if !ok || len(avail) != len(steps0) {
+		t.Fatalf("version miss over HTTP = %v (avail %v), want NoSuchVersionError with %v", err, avail, steps0)
+	}
+	if retryable(err) {
+		t.Fatal("version miss classified retryable")
+	}
+
+	// A dead server maps to ErrBackendDown (retryable).
+	srv.Close()
+	_, err = hb.Point(ctx, Latest, 0.5, 0.5, 0.5)
+	if !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("dead server error = %v, want ErrBackendDown", err)
+	}
+	if !retryable(err) {
+		t.Fatal("dead server error not retryable")
+	}
+}
+
+// TestRouterHTTPHandler: the routed HTTP surface carries the provenance
+// envelope, reports shard state, and maps router errors onto statuses.
+func TestRouterHTTPHandler(t *testing.T) {
+	const steps = 2
+	s0 := buildBackend(t, "s0", steps, steps)
+	s1 := buildBackend(t, "s1", steps, steps)
+	reg := telemetry.NewRegistry()
+	r, err := New(Config{
+		Shards:   []ShardConfig{{Primary: s0.be}, {Primary: s1.be}},
+		Registry: reg,
+		Sleep:    instantSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := jsonDecode(resp, &m); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	code, m := get("/v1/point?x=0.5&y=0.5&z=0.5")
+	if code != 200 {
+		t.Fatalf("point status %d: %v", code, m)
+	}
+	if m["degraded"] != false {
+		t.Fatalf("point degraded = %v", m["degraded"])
+	}
+	if _, ok := m["served_by"].([]any); !ok {
+		t.Fatalf("point served_by missing: %v", m)
+	}
+	if m["served_version"] == nil || m["requested_version"] == nil {
+		t.Fatalf("point envelope incomplete: %v", m)
+	}
+
+	code, m = get("/v1/region?x0=0&y0=0&z0=0&x1=1&y1=1&z1=1&limit=3")
+	if code != 200 || m["truncated"] != true {
+		t.Fatalf("region status %d truncated %v", code, m["truncated"])
+	}
+
+	code, m = get("/v1/agg?field=0")
+	if code != 200 || m["count"] == nil {
+		t.Fatalf("agg status %d: %v", code, m)
+	}
+
+	code, _ = get("/v1/region?x0=0.9&y0=0&z0=0&x1=0.1&y1=1&z1=1")
+	if code != 400 {
+		t.Fatalf("inverted box status %d, want 400", code)
+	}
+
+	shardResp, err := srv.Client().Get(srv.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardList []map[string]any
+	if err := json.NewDecoder(shardResp.Body).Decode(&shardList); err != nil {
+		t.Fatal(err)
+	}
+	shardResp.Body.Close()
+	if shardResp.StatusCode != 200 || len(shardList) != 2 {
+		t.Fatalf("shards status %d, %d entries, want 200 with 2", shardResp.StatusCode, len(shardList))
+	}
+
+	// Requesting a newer-than-anything version degrades to the newest
+	// committed one with explicit markers.
+	code, m = get("/v1/point?x=0.5&y=0.5&z=0.5&version=99999")
+	if code != 200 || m["degraded"] != true {
+		t.Fatalf("future version: status %d degraded %v", code, m["degraded"])
+	}
+
+	// All shards dead: routed queries return 503 + Retry-After.
+	s0.cat.Close()
+	s0.sched.Close()
+	s1.cat.Close()
+	s1.sched.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/point?x=0.5&y=0.5&z=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("all-down status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("all-down response missing Retry-After")
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}

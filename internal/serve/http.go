@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,12 +18,14 @@ import (
 //
 //	GET /v1/versions                 -> {"versions":[...],"latest":N}
 //	GET /v1/point?x=&y=&z=[&version=]
-//	GET /v1/region?x0=&y0=&z0=&x1=&y1=&z1=[&version=][&limit=]
-//	GET /v1/agg?field=[&x0=&y0=&z0=&x1=&y1=&z1=][&version=]  (no bounds = whole domain)
+//	GET /v1/region?x0=&y0=&z0=&x1=&y1=&z1=[&version=][&limit=][&klo=&khi=]
+//	GET /v1/agg?field=[&x0=&y0=&z0=&x1=&y1=&z1=][&version=][&klo=&khi=]  (no bounds = whole domain)
 //	GET /v1/trace?id=N               -> one retained request trace
 //	GET /v1/trace[?n=K]              -> the K most recent traces (default all retained)
 //
-// version selects a pinned committed step; omitted means newest.
+// version selects a pinned committed step; omitted means newest. klo/khi
+// restrict region and agg responses to leaves whose Z-order key lies in
+// the inclusive range — the filter a sharded router scatters with.
 //
 // When the handler carries a TraceSink, every query request gets a trace
 // context threaded through the scheduler and the snapshot query, the
@@ -77,6 +80,7 @@ type Handler struct {
 	cat    *Catalog
 	sched  *Scheduler
 	traces *telemetry.TraceSink // nil when request tracing is off
+	span   KeyRange             // shard responsibility; zero = full key space
 	mux    *http.ServeMux
 }
 
@@ -93,6 +97,16 @@ func NewHandler(cat *Catalog, sched *Scheduler) *Handler {
 
 // SetTraceSink enables per-request tracing; call before serving.
 func (h *Handler) SetTraceSink(ts *telemetry.TraceSink) { h.traces = ts }
+
+// RestrictSpan sets the handler's default responsibility span — the
+// pmserve -shard filter applied to region and aggregate requests that
+// carry no klo/khi of their own. Explicit klo/khi parameters override
+// it rather than intersecting with it: every shard process holds the
+// full committed image (responsibility, not data, is partitioned), and
+// a router performing peer takeover for a dead shard must be able to
+// ask a healthy peer for the dead shard's span and get an exact
+// answer. Call before serving.
+func (h *Handler) RestrictSpan(kr KeyRange) { h.span = kr }
 
 // TraceSink returns the handler's sink (nil when tracing is off).
 func (h *Handler) TraceSink() *telemetry.TraceSink { return h.traces }
@@ -173,6 +187,11 @@ func fail(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
 	case errors.Is(err, ErrCatalogClosed), errors.Is(err, ErrSchedulerClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errResp{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request's own deadline expired (or the client went away)
+		// before service; 504 tells routers this attempt timed out rather
+		// than failed.
+		writeJSON(w, http.StatusGatewayTimeout, errResp{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errResp{Error: err.Error()})
 	}
@@ -198,6 +217,32 @@ func floatParam(r *http.Request, name string) (float64, error) {
 		return 0, fmt.Errorf("missing parameter %q", name)
 	}
 	return strconv.ParseFloat(raw, 64)
+}
+
+// keyRangeParams parses the optional klo/khi parameters (inclusive
+// Z-order key bounds). Omitting both means the handler's default span
+// (full when unrestricted); explicit bounds are honored as given — see
+// RestrictSpan for why they must not be intersected with the default.
+func (h *Handler) keyRangeParams(r *http.Request) (KeyRange, error) {
+	q := r.URL.Query()
+	kr := KeyRange{}
+	los, his := q.Get("klo"), q.Get("khi")
+	if los == "" && his == "" {
+		return h.span, nil
+	}
+	kr = FullKeyRange()
+	var err error
+	if los != "" {
+		if kr.Lo, err = strconv.ParseUint(los, 10, 64); err != nil {
+			return kr, fmt.Errorf("klo must be an unsigned integer")
+		}
+	}
+	if his != "" {
+		if kr.Hi, err = strconv.ParseUint(his, 10, 64); err != nil {
+			return kr, fmt.Errorf("khi must be an unsigned integer")
+		}
+	}
+	return kr, nil
 }
 
 func boxParams(r *http.Request) (Box, error) {
@@ -243,7 +288,7 @@ func (h *Handler) point(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.DoTraced(tc, "point", func() (any, error) {
+	val, err := h.sched.DoCtx(r.Context(), tc, "point", func() (any, error) {
 		res, err := s.PointTraced(tc, x, y, z)
 		if err != nil {
 			return nil, err
@@ -280,6 +325,11 @@ func (h *Handler) region(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	kr, err := h.keyRangeParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
 	tc := h.startTrace(w, "region")
 	defer tc.Finish()
 	s, err := h.snapshotFor(r)
@@ -289,8 +339,8 @@ func (h *Handler) region(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.DoTraced(tc, "region", func() (any, error) {
-		hits, err := s.RegionTraced(tc, box)
+	val, err := h.sched.DoCtx(r.Context(), tc, "region", func() (any, error) {
+		hits, err := s.RegionInTraced(tc, box, kr)
 		if err != nil {
 			return nil, err
 		}
@@ -331,6 +381,11 @@ func (h *Handler) agg(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "agg needs an integer field parameter"})
 		return
 	}
+	kr, err := h.keyRangeParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
 	tc := h.startTrace(w, "agg")
 	defer tc.Finish()
 	s, err := h.snapshotFor(r)
@@ -340,8 +395,8 @@ func (h *Handler) agg(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.Close()
-	val, err := h.sched.DoTraced(tc, "agg", func() (any, error) {
-		res, err := s.AggregateTraced(tc, field, box)
+	val, err := h.sched.DoCtx(r.Context(), tc, "agg", func() (any, error) {
+		res, err := s.AggregateInTraced(tc, field, box, kr)
 		if err != nil {
 			return nil, err
 		}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -24,7 +24,9 @@ import (
 // unbounded concurrency. Client-observed latencies are recorded per query
 // class (the /v1/<class> path prefix) and summarized as an SLO document:
 // per-class counts and latency quantiles, the JSON that
-// `benchjson -compare-quantiles` gates CI against.
+// `benchjson -compare-quantiles` gates CI against. Both cmd/pmserve and
+// cmd/pmrouter drive their handlers through it, so single-process and
+// routed serving are measured with the same meter.
 
 // SLOClass is one query class's latency summary. Quantile values are
 // nanoseconds.
@@ -51,10 +53,10 @@ func classOf(p string) string {
 	return p
 }
 
-// runLoadgen drives the handler over a loopback listener with `clients`
+// RunLoadgen drives the handler over a loopback listener with `clients`
 // closed-loop clients until `requests` total requests have completed,
 // cycling through the scripted paths. Returns the per-class SLO summary.
-func runLoadgen(h http.Handler, scriptPath string, clients, requests int) (SLODoc, error) {
+func RunLoadgen(h http.Handler, scriptPath string, clients, requests int) (SLODoc, error) {
 	raw, err := os.ReadFile(scriptPath)
 	if err != nil {
 		return SLODoc{}, err
@@ -133,21 +135,21 @@ func runLoadgen(h http.Handler, scriptPath string, clients, requests int) (SLODo
 		}
 	}
 	if f := failures.Load(); f > 0 {
-		fmt.Fprintf(os.Stderr, "pmserve: loadgen: %d request(s) failed or were rejected (excluded from quantiles)\n", f)
+		fmt.Fprintf(os.Stderr, "loadgen: %d request(s) failed or were rejected (excluded from quantiles)\n", f)
 	}
 	return doc, nil
 }
 
-// writeSLO writes the document as stable, indented JSON (classes sorted).
-func writeSLO(w io.Writer, doc SLODoc) error {
+// WriteSLO writes the document as stable, indented JSON (classes sorted).
+func WriteSLO(w io.Writer, doc SLODoc) error {
 	// json.Marshal sorts map keys, so the output is already stable.
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
 
-// summarizeSLO renders a one-line-per-class summary for stderr.
-func summarizeSLO(doc SLODoc) string {
+// SummarizeSLO renders a one-line-per-class summary for stderr.
+func SummarizeSLO(doc SLODoc) string {
 	classes := make([]string, 0, len(doc.Classes))
 	for c := range doc.Classes {
 		classes = append(classes, c)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -63,6 +64,7 @@ type response struct {
 }
 
 type request struct {
+	ctx  context.Context
 	kind string
 	fn   func() (any, error)
 	done chan response
@@ -87,6 +89,7 @@ type Scheduler struct {
 	requests      *telemetry.Counter
 	rejected      *telemetry.Counter
 	schedRejected *telemetry.Counter
+	dropped       *telemetry.Counter
 	errors        *telemetry.Counter
 	latency       *telemetry.Histogram
 	batchHist     *telemetry.Histogram
@@ -101,6 +104,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		s.requests = r.Counter("serve.requests")
 		s.rejected = r.Counter("serve.rejected")
 		s.schedRejected = r.Counter("serve.sched.rejected")
+		s.dropped = r.Counter("serve.sched.dropped")
 		s.errors = r.Counter("serve.errors")
 		s.latency = r.Histogram("serve.latency_ns")
 		s.batchHist = r.Histogram("serve.batch_size")
@@ -148,6 +152,18 @@ func (s *Scheduler) run(batch []*request) {
 		if s.reg != nil {
 			s.reg.Histogram("serve.queue_wait_ns."+req.kind).Observe(uint64(begin.Sub(req.enq)))
 		}
+		// A request whose context died while it queued (client gone,
+		// deadline passed) is dropped before any service work: servicing
+		// the dead would steal capacity from live requests under exactly
+		// the load that queued it.
+		if err := req.ctx.Err(); err != nil {
+			if s.dropped != nil {
+				s.dropped.Inc()
+			}
+			req.tc.SetError(err)
+			req.done <- response{err: err}
+			continue
+		}
 		val, err := req.fn()
 		if err != nil && s.errors != nil {
 			s.errors.Inc()
@@ -166,7 +182,7 @@ func (s *Scheduler) run(batch []*request) {
 // queue returns *SaturatedError immediately; a closed scheduler returns
 // ErrSchedulerClosed.
 func (s *Scheduler) Do(kind string, fn func() (any, error)) (any, error) {
-	return s.DoTraced(nil, kind, fn)
+	return s.DoCtx(context.Background(), nil, kind, fn)
 }
 
 // DoTraced is Do with a trace context carried through admission: the
@@ -174,7 +190,26 @@ func (s *Scheduler) Do(kind string, fn func() (any, error)) (any, error) {
 // same tc flows into fn's closure for the query-phase spans. A nil tc
 // means untraced.
 func (s *Scheduler) DoTraced(tc *telemetry.TraceContext, kind string, fn func() (any, error)) (any, error) {
-	req := &request{kind: kind, fn: fn, done: make(chan response, 1), enq: time.Now(), tc: tc}
+	return s.DoCtx(context.Background(), tc, kind, fn)
+}
+
+// DoCtx is DoTraced with per-request deadline propagation: a context
+// already dead at admission is rejected without queuing, and a request
+// whose context dies while queued is dropped by the worker before any
+// service work runs, returning the context's error. Once fn has started
+// it runs to completion — callers own resources (the snapshot handle)
+// that fn borrows, so DoCtx never abandons a running fn.
+func (s *Scheduler) DoCtx(ctx context.Context, tc *telemetry.TraceContext, kind string, fn func() (any, error)) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		if s.dropped != nil {
+			s.dropped.Inc()
+		}
+		return nil, err
+	}
+	req := &request{ctx: ctx, kind: kind, fn: fn, done: make(chan response, 1), enq: time.Now(), tc: tc}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()

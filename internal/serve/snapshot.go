@@ -195,6 +195,54 @@ type Box struct {
 	Max [3]float64
 }
 
+// KeyRange is an inclusive span of Z-order keys (morton.Code.Key values).
+// The zero value means the full key space. A sharded deployment assigns
+// each shard a disjoint range; region and aggregate queries filtered by
+// range return only leaves the shard is responsible for, so a router can
+// scatter one query across the ranges and merge exact, non-overlapping
+// results.
+type KeyRange struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// FullKeyRange spans every key.
+func FullKeyRange() KeyRange { return KeyRange{Lo: 0, Hi: math.MaxUint64} }
+
+// IsFull reports whether the range is unrestricted (the zero value and
+// the explicit full range both qualify).
+func (kr KeyRange) IsFull() bool {
+	return kr.Lo == 0 && (kr.Hi == 0 || kr.Hi == math.MaxUint64)
+}
+
+// Contains reports whether key k lies in the range.
+func (kr KeyRange) Contains(k uint64) bool {
+	return kr.IsFull() || (k >= kr.Lo && k <= kr.Hi)
+}
+
+// Intersect returns the overlap of two ranges. An empty intersection is
+// returned as {1, 0} (Lo > Hi), which Contains rejects for every key.
+func (kr KeyRange) Intersect(o KeyRange) KeyRange {
+	a, b := kr.normalized(), o.normalized()
+	if a.Lo < b.Lo {
+		a.Lo = b.Lo
+	}
+	if a.Hi > b.Hi {
+		a.Hi = b.Hi
+	}
+	if a.Lo > a.Hi {
+		return KeyRange{Lo: 1, Hi: 0}
+	}
+	return a
+}
+
+func (kr KeyRange) normalized() KeyRange {
+	if kr.IsFull() {
+		return FullKeyRange()
+	}
+	return kr
+}
+
 // LeafHit is one leaf intersecting a region query.
 type LeafHit struct {
 	Code morton.Code
@@ -263,11 +311,22 @@ func overlaps(code morton.Code, box Box) bool {
 
 // Region returns every leaf intersecting box, in Z-order.
 func (s *Snapshot) Region(box Box) ([]LeafHit, error) {
-	return s.RegionTraced(nil, box)
+	return s.RegionInTraced(nil, box, KeyRange{})
+}
+
+// RegionIn is Region restricted to leaves whose Z-order key falls in kr —
+// the shard-responsibility filter.
+func (s *Snapshot) RegionIn(box Box, kr KeyRange) ([]LeafHit, error) {
+	return s.RegionInTraced(nil, box, kr)
 }
 
 // RegionTraced is Region with per-phase trace spans.
 func (s *Snapshot) RegionTraced(tc *telemetry.TraceContext, box Box) ([]LeafHit, error) {
+	return s.RegionInTraced(tc, box, KeyRange{})
+}
+
+// RegionInTraced is RegionIn with per-phase trace spans.
+func (s *Snapshot) RegionInTraced(tc *telemetry.TraceContext, box Box, kr KeyRange) ([]LeafHit, error) {
 	tc.SetStep(s.Step())
 	s.v.ensureTraced(tc)
 	scan := tc.StartSpan("leaf_scan")
@@ -278,6 +337,9 @@ func (s *Snapshot) RegionTraced(tc *telemetry.TraceContext, box Box) ([]LeafHit,
 	}
 	var hits []LeafHit
 	for i := first; i <= last; i++ {
+		if !kr.Contains(s.v.leaves[i].Code.Key()) {
+			continue
+		}
 		if overlaps(s.v.leaves[i].Code, box) {
 			hits = append(hits, LeafHit{Code: s.v.leaves[i].Code, Data: s.v.leaves[i].Data})
 		}
@@ -302,11 +364,23 @@ type AggResult struct {
 
 // Aggregate folds data field `field` over every leaf intersecting box.
 func (s *Snapshot) Aggregate(field int, box Box) (AggResult, error) {
-	return s.AggregateTraced(nil, field, box)
+	return s.AggregateInTraced(nil, field, box, KeyRange{})
+}
+
+// AggregateIn is Aggregate restricted to leaves whose Z-order key falls
+// in kr. Partial aggregates over disjoint ranges merge exactly: counts
+// and sums add, mins and maxes combine.
+func (s *Snapshot) AggregateIn(field int, box Box, kr KeyRange) (AggResult, error) {
+	return s.AggregateInTraced(nil, field, box, kr)
 }
 
 // AggregateTraced is Aggregate with per-phase trace spans.
 func (s *Snapshot) AggregateTraced(tc *telemetry.TraceContext, field int, box Box) (AggResult, error) {
+	return s.AggregateInTraced(tc, field, box, KeyRange{})
+}
+
+// AggregateInTraced is AggregateIn with per-phase trace spans.
+func (s *Snapshot) AggregateInTraced(tc *telemetry.TraceContext, field int, box Box, kr KeyRange) (AggResult, error) {
 	if field < 0 || field >= core.DataWords {
 		return AggResult{}, ErrBadField
 	}
@@ -321,6 +395,9 @@ func (s *Snapshot) AggregateTraced(tc *telemetry.TraceContext, field int, box Bo
 	res := AggResult{Step: s.Step(), Min: math.Inf(1), Max: math.Inf(-1)}
 	for i := first; i <= last; i++ {
 		leaf := s.v.leaves[i]
+		if !kr.Contains(leaf.Code.Key()) {
+			continue
+		}
 		if !overlaps(leaf.Code, box) {
 			continue
 		}
