@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"pmoctree"
+	"pmoctree/internal/tile"
 )
 
 // report is the -json form of meshstat's output.
@@ -30,12 +31,20 @@ type report struct {
 	Octants         int            `json:"octants"`
 	LiveBytes       int            `json:"live_bytes"`
 	BytesPerKOctant float64        `json:"bytes_per_1000_octants"`
+
+	// -tiles only: the Morton-ordered SoA tile image of the leaf fields.
+	Tiles           int            `json:"tiles,omitempty"`
+	TileSize        int            `json:"tile_size,omitempty"`
+	TileOccupancy   float64        `json:"tile_occupancy,omitempty"`
+	TileHistogram   map[string]int `json:"tile_histogram,omitempty"`
+	TileGatherBytes uint64         `json:"tile_gather_bytes,omitempty"`
 }
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+	tiles := flag.Bool("tiles", false, "gather the tiled SoA leaf image and report tile count, occupancy histogram, and gather traffic")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: meshstat [-json] <region-image>")
+		fmt.Fprintln(os.Stderr, "usage: meshstat [-json] [-tiles] <region-image>")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -80,6 +89,21 @@ func main() {
 	rep.LiveBytes = vs.LiveBytes
 	rep.BytesPerKOctant = vs.MemoryPerThousandOctants()
 
+	if *tiles {
+		st := tree.LeafTiles()
+		fp := tree.FastPath()
+		rep.Tiles = st.Tiles()
+		rep.TileSize = tile.Size
+		rep.TileOccupancy = st.Occupancy()
+		rep.TileHistogram = map[string]int{}
+		for k, n := range st.OccupancyHistogram() {
+			if n > 0 {
+				rep.TileHistogram[fmt.Sprint(k)] = n
+			}
+		}
+		rep.TileGatherBytes = fp.TileGatherBytes
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -109,4 +133,22 @@ func main() {
 
 	fmt.Printf("octants: %d; live bytes %d (%.0f per 1000 octants)\n",
 		rep.Octants, rep.LiveBytes, rep.BytesPerKOctant)
+
+	if *tiles {
+		fmt.Printf("tiles: %d of %d cells (%.1f%% occupancy), gathered %d bytes\n",
+			rep.Tiles, rep.TileSize, 100*rep.TileOccupancy, rep.TileGatherBytes)
+		var occs []int
+		for k := range rep.TileHistogram {
+			var v int
+			fmt.Sscan(k, &v)
+			occs = append(occs, v)
+		}
+		sort.Ints(occs)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "cells/tile\ttiles")
+		for _, k := range occs {
+			fmt.Fprintf(tw, "%d\t%d\n", k, rep.TileHistogram[fmt.Sprint(k)])
+		}
+		tw.Flush()
+	}
 }

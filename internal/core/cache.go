@@ -47,6 +47,12 @@ type FastPathStats struct {
 	LeafIndexReuses     uint64 // LeafSnapshot served without a walk
 	IndexedLeafUpdates  uint64 // UpdateLeavesIndexed sweeps
 	IndexedInPlaceSkips uint64 // sweeps that kept the snapshot valid
+	TileRebuilds        uint64 // LeafTiles gathers (snapshot -> SoA transpose)
+	TileReuses          uint64 // LeafTiles served without a gather
+	TileRebuildNs       uint64 // wall time spent gathering
+	TileGatherBytes     uint64 // field bytes transposed into the store
+	TileScatters        uint64 // ScatterLeafTiles calls
+	TileScatterBytes    uint64 // field bytes written back to the tree
 }
 
 // FastPath returns the fast-path counters.

@@ -9,6 +9,7 @@ import (
 	"pmoctree/internal/nvbm"
 	"pmoctree/internal/pmem"
 	"pmoctree/internal/telemetry"
+	"pmoctree/internal/tile"
 )
 
 // Feature is an application-level predicate used by feature-directed
@@ -194,6 +195,10 @@ type Tree struct {
 	leafCodesOK   bool
 	fp            FastPathStats
 
+	// Tiled SoA leaf storage (tiles.go): the gathered flat field image
+	// the hot kernels sweep, stamped with mutSeq like the leaf index.
+	tiles *tile.Store
+
 	// GC scratch (gc.go): the reusable mark bitset and explicit stack.
 	markBits    []uint64
 	markScratch []Ref
@@ -366,6 +371,18 @@ func (t *Tree) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc("core.cache.skipped_reads", func() float64 { return float64(t.fp.CacheSkippedReads) })
 	r.RegisterFunc("core.leafindex.rebuilds", func() float64 { return float64(t.fp.LeafIndexRebuilds) })
 	r.RegisterFunc("core.leafindex.reuses", func() float64 { return float64(t.fp.LeafIndexReuses) })
+	r.RegisterFunc("core.tile.rebuilds", func() float64 { return float64(t.fp.TileRebuilds) })
+	r.RegisterFunc("core.tile.reuses", func() float64 { return float64(t.fp.TileReuses) })
+	r.RegisterFunc("core.tile.rebuild_ns", func() float64 { return float64(t.fp.TileRebuildNs) })
+	r.RegisterFunc("core.tile.gather_bytes", func() float64 { return float64(t.fp.TileGatherBytes) })
+	r.RegisterFunc("core.tile.scatters", func() float64 { return float64(t.fp.TileScatters) })
+	r.RegisterFunc("core.tile.scatter_bytes", func() float64 { return float64(t.fp.TileScatterBytes) })
+	r.RegisterFunc("core.tile.occupancy", func() float64 {
+		if t.tiles == nil || !t.tiles.ValidFor(t.mutSeq) {
+			return 0 // gauge reads must not force a gather
+		}
+		return t.tiles.Occupancy()
+	})
 	r.RegisterFunc("core.pipeline.enqueued", func() float64 { return float64(t.PipelineStats().Enqueued) })
 	r.RegisterFunc("core.pipeline.committed", func() float64 { return float64(t.PipelineStats().Committed) })
 	r.RegisterFunc("core.pipeline.coalesced", func() float64 { return float64(t.PipelineStats().Coalesced) })

@@ -23,12 +23,15 @@ import (
 	"pmoctree/internal/solver"
 )
 
-// Serial cutoffs for pool.RunMin. Advection is the expensive sweep —
-// every cell traces a characteristic and runs four graded-mesh samples —
-// so it parallelizes profitably on small meshes; the body-force and
-// gradient-correction loops are a handful of flops per cell.
+// Serial cutoffs for pool.RunMin. Advection is the expensive sweep, so it
+// parallelizes profitably on small meshes; the body-force and
+// gradient-correction loops are a handful of flops per cell. The advect
+// cutoff is retuned for the fused sampler (pr9): one characteristic now
+// costs one container lookup plus eight corner lookups TOTAL — roughly a
+// quarter of the legacy per-field cost — so the range where spawn-and-join
+// overhead beats the sweep is correspondingly four times longer.
 const (
-	minAdvect = 512
+	minAdvect = 2048
 	minAxpy   = 1 << 15
 )
 
@@ -46,6 +49,9 @@ type State struct {
 	div, gx, gy, gz  []float64
 	u2, v2, w2, vof2 []float64
 	lastDt           float64
+
+	// ref selects the legacy per-field advection sampling (see advectRef).
+	ref bool
 
 	// pool schedules the advection sweep and the per-cell update loops;
 	// nil runs them inline. The projection solve follows Sys's pool.
@@ -72,6 +78,16 @@ func (st *State) SetWorkers(n int) {
 func (st *State) SetPool(p *parallel.Pool) {
 	st.pool = p
 	st.Sys.SetPool(p)
+}
+
+// SetReferenceMode selects the legacy advection path: four independent
+// sample() calls per cell, each re-locating the stencil corners. Results
+// are bit-identical to the fused default; the reference path exists for
+// the A/B benchmarks and the test pinning that identity. The projection
+// system's layout mode is switched along with it.
+func (st *State) SetReferenceMode(on bool) {
+	st.ref = on
+	st.Sys.SetReferenceMode(on)
 }
 
 // NewState builds a zero flow state over the mesh cells.
@@ -209,10 +225,75 @@ func (st *State) Step(dt float64) (solver.Result, error) {
 	return res, nil
 }
 
+// sample4 interpolates all four advected fields at one point, locating
+// the container cell and the eight stencil corners ONCE and applying the
+// same weights to U, V, W and VOF. The legacy path ran the full lookup
+// cascade four times — once per field — so this is the advection
+// equivalent of the solver's SoA flattening: identical arithmetic per
+// field (same corner cells, same weights, same accumulation order, so the
+// results are bit-identical to four sample() calls), a quarter of the
+// point-location work.
+func (st *State) sample4(x, y, z float64) (u, v, w, vof float64) {
+	i, ok := st.Sys.CellAt(x, y, z)
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	h := st.Sys.Extent(i)
+	gx, gy, gz := x/h-0.5, y/h-0.5, z/h-0.5
+	ix, iy, iz := math.Floor(gx), math.Floor(gy), math.Floor(gz)
+	fx, fy, fz := gx-ix, gy-iy, gz-iz
+	for k := 0; k < 8; k++ {
+		ax, ay, az := float64(k&1), float64((k>>1)&1), float64((k>>2)&1)
+		wt := lerpw(fx, ax) * lerpw(fy, ay) * lerpw(fz, az)
+		if wt == 0 {
+			continue
+		}
+		px := clamp01((ix + ax + 0.5) * h)
+		py := clamp01((iy + ay + 0.5) * h)
+		pz := clamp01((iz + az + 0.5) * h)
+		if j, ok := st.Sys.CellAt(px, py, pz); ok {
+			u += wt * st.U[j]
+			v += wt * st.V[j]
+			w += wt * st.W[j]
+			vof += wt * st.VOF[j]
+		} else {
+			// The legacy path accumulated wt*0 here; adding the same +0
+			// keeps the sums bit-identical even around signed zeros.
+			u += wt * 0
+			v += wt * 0
+			w += wt * 0
+			vof += wt * 0
+		}
+	}
+	return
+}
+
 // advect performs the semi-Lagrangian transport of velocity and volume
 // fraction. Every cell samples only the PREVIOUS field (u2..vof2 are the
 // targets), so the sweep parallelizes with bit-identical results.
 func (st *State) advect(dt float64) {
+	if st.ref {
+		st.advectRef(dt)
+		return
+	}
+	n := st.Sys.N()
+	st.pool.RunMin(n, minAdvect, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cx, cy, cz := st.Sys.Center(i)
+			bx := cx - dt*st.U[i]
+			by := cy - dt*st.V[i]
+			bz := cz - dt*st.W[i]
+			st.u2[i], st.v2[i], st.w2[i], st.vof2[i] = st.sample4(bx, by, bz)
+		}
+	})
+	copy(st.U, st.u2)
+	copy(st.V, st.v2)
+	copy(st.W, st.w2)
+	copy(st.VOF, st.vof2)
+}
+
+// advectRef is the legacy advection sweep: one full sample per field.
+func (st *State) advectRef(dt float64) {
 	n := st.Sys.N()
 	st.pool.RunMin(n, minAdvect, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

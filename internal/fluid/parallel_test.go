@@ -70,9 +70,54 @@ func TestStepWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestAdvectFusedMatchesReference pins the fused sampler to the legacy
+// per-field path: the same corner cells, weights and accumulation order
+// must give bit-identical fields.
+func TestAdvectFusedMatchesReference(t *testing.T) {
+	tr := octree.New()
+	tr.RefineWhere(func(c morton.Code) bool {
+		_, _, z := c.Center()
+		return z-c.Extent()/2 < 0.45
+	}, 4)
+	tr.Balance()
+
+	run := func(reference bool) *State {
+		sys, err := solver.Build(tr.LeafCodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := pouredState(t, sys)
+		st.SetReferenceMode(reference)
+		for step := 0; step < 4; step++ {
+			st.advect(2e-3)
+		}
+		return st
+	}
+
+	fused, ref := run(false), run(true)
+	fields := []struct {
+		name     string
+		got, ref []float64
+	}{
+		{"U", fused.U, ref.U}, {"V", fused.V, ref.V},
+		{"W", fused.W, ref.W}, {"VOF", fused.VOF, ref.VOF},
+	}
+	for _, f := range fields {
+		for i := range f.got {
+			if f.got[i] != f.ref[i] {
+				t.Fatalf("%s[%d] = %v, reference %v (must be bit-identical)",
+					f.name, i, f.got[i], f.ref[i])
+			}
+		}
+	}
+}
+
 // benchAdvect times one semi-Lagrangian advection sweep over a uniform
 // 32^3 mesh — the per-cell octree point lookups are the hot path.
-func benchAdvect(b *testing.B, workers int) {
+// reference selects the legacy per-field sampler (the pre-pr9 layout);
+// the default is the fused sample4 sweep, so Serial-vs-TiledSerial
+// isolates the sampling win and TiledSerial-vs-Parallel the scheduling.
+func benchAdvect(b *testing.B, workers int, reference bool) {
 	tr := octree.New()
 	tr.RefineWhere(func(morton.Code) bool { return true }, 5)
 	sys, err := solver.Build(tr.LeafCodes())
@@ -81,6 +126,7 @@ func benchAdvect(b *testing.B, workers int) {
 	}
 	st := pouredState(b, sys)
 	st.SetWorkers(workers)
+	st.SetReferenceMode(reference)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.advect(1e-3)
@@ -88,5 +134,6 @@ func benchAdvect(b *testing.B, workers int) {
 	b.ReportMetric(float64(sys.N()), "cells")
 }
 
-func BenchmarkAdvectSerial(b *testing.B)   { benchAdvect(b, 1) }
-func BenchmarkAdvectParallel(b *testing.B) { benchAdvect(b, 4) }
+func BenchmarkAdvectSerial(b *testing.B)      { benchAdvect(b, 1, true) }
+func BenchmarkAdvectTiledSerial(b *testing.B) { benchAdvect(b, 1, false) }
+func BenchmarkAdvectParallel(b *testing.B)    { benchAdvect(b, 4, false) }

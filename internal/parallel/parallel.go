@@ -70,6 +70,16 @@ func New(workers int) *Pool {
 	return &Pool{workers: Clamp(workers)}
 }
 
+// NewForced returns a pool that schedules exactly workers goroutines,
+// bypassing the GOMAXPROCS clamp in effective(). Test hook: it lets
+// worker-count-invariance suites exercise real concurrent scheduling —
+// chunk handout, dirty-flag writes, the race detector — on single-CPU
+// machines where New's pools would run inline. Production call sites use
+// New; oversubscription only helps when the goal is to provoke races.
+func NewForced(workers int) *Pool {
+	return &Pool{workers: workers, forceWidth: workers}
+}
+
 // Workers reports the configured scheduling width; the nil pool has one
 // worker. This is the determinism-relevant width (reduction blocking is
 // independent of it anyway); the width actually scheduled is effective().

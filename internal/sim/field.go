@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pmoctree/internal/morton"
+	"pmoctree/internal/tile"
 )
 
 // Field is a time-dependent implicit interface driving adaptive meshing:
@@ -78,6 +79,28 @@ func solveCell(speed, phi float64, c morton.Code, data *[DataWords]float64) bool
 	data[1] = p
 	data[2] = 0
 	data[3] = w
+	return true
+}
+
+// solveCellFlat is solveCell operating on cell i of the tiled SoA store
+// instead of an octant payload: the two MUST stay in lockstep term for
+// term — same expressions, same evaluation order, same change test — so
+// the tiled sweep is bit-identical to the per-leaf one (the coherence
+// tests pin this). phi and eps arrive precomputed (the level set is pure
+// in (cell, step); eps is the cell extent).
+func solveCellFlat(speed, phi, eps float64, i int, st *tile.Store) bool {
+	f0, f1, f3 := st.F[0], st.F[1], st.F[3]
+	vof := quantize(smoothstep(-phi / eps))
+	target := math.Exp(-math.Abs(phi) * 8)
+	p := quantize(f1[i] + 0.35*(target-f1[i]))
+	w := quantize(-speed * vof)
+	if f0[i] == vof && f1[i] == p && f3[i] == w {
+		return false
+	}
+	f0[i] = vof
+	f1[i] = p
+	st.F[2][i] = 0
+	f3[i] = w
 	return true
 }
 

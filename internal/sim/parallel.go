@@ -1,10 +1,21 @@
 package sim
 
 import (
+	"sort"
+
 	"pmoctree/internal/morton"
 	"pmoctree/internal/parallel"
 	"pmoctree/internal/telemetry"
+	"pmoctree/internal/tile"
 )
+
+// The tiled sweep stores the octree payload verbatim.
+var _ = [1]struct{}{}[tile.Words-DataWords]
+
+// minTileSolve is the serial cutoff (in cells) for the tiled relaxation
+// sweep: one cell costs an exp and a handful of flops, so small meshes
+// run inline.
+const minTileSolve = 4096
 
 // StepWorkers is StepField with an explicit worker count: the refinement,
 // coarsening and solve PREDICATES — the level-set evaluations that
@@ -51,6 +62,14 @@ func StepFieldPool(m Mesh, f Field, step int, maxLevel uint8, pool *parallel.Poo
 
 	sc.Balanced = m.Balance()
 
+	if tm, tiled := m.(tiledMesh); !serial && tiled {
+		// Tiled SoA fast path: gather the leaves into the flat tile store
+		// once, run all sweeps over the contiguous field slices, scatter
+		// the changed cells back. Bit-identical to the sweeps below.
+		sc.Solved, sc.Leaves = tiledSolve(tm, f, step, pool)
+		return sc
+	}
+
 	solve := SolveOf(f, step)
 	if !serial {
 		// The level set is a pure function of (cell, step): evaluate it
@@ -82,6 +101,65 @@ func StepFieldPool(m Mesh, f Field, step int, maxLevel uint8, pool *parallel.Poo
 	return sc
 }
 
+// tiledMesh is the optional SoA fast-path contract (core.Tree provides
+// it): a gathered Morton-ordered tile image of the leaves plus the
+// scatter writing modified cells back. Field results are bit-identical to
+// the Mesh sweeps; only the modeled device traffic differs, which the
+// parallel driver already does not preserve (see StepFieldPool's doc).
+type tiledMesh interface {
+	Mesh
+	LeafTiles() *tile.Store
+	ScatterLeafTiles(*tile.Store) int
+}
+
+// tiledSolve runs the relaxation sweeps over the mesh's tiled SoA leaf
+// image: one gather, SolverSweeps flat sweeps scheduled in tile-aligned
+// chunks, one scatter of every cell any sweep changed. The per-cell
+// update is solveCellFlat — solveCell's arithmetic term for term — and
+// the changed counts are integer sums folded in tile order, so the mesh
+// evolution is bit-identical to the per-leaf path at every worker count.
+func tiledSolve(tm tiledMesh, f Field, step int, pool *parallel.Pool) (solved, leaves int) {
+	st := tm.LeafTiles()
+	codes := st.Codes()
+	n := len(codes)
+	// The level set is a pure function of (cell, step): evaluate it once
+	// per leaf in parallel and share it across all sweeps, alongside the
+	// cell extents the smoothing band scales with.
+	phis := make([]float64, n)
+	eps := make([]float64, n)
+	pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y, z := codes[i].Center()
+			phis[i] = f.PhiAtStep(x, y, z, step)
+			eps[i] = codes[i].Extent()
+		}
+	})
+	speed := f.Speed()
+	counts := make([]int32, st.Tiles())
+	for it := 0; it < SolverSweeps; it++ {
+		st.RunTileRanges(pool, minTileSolve, func(tileLo, tileHi int) {
+			for ti := tileLo; ti < tileHi; ti++ {
+				lo, hi := st.TileBounds(ti)
+				changed := int32(0)
+				for i := lo; i < hi; i++ {
+					if solveCellFlat(speed, phis[i], eps[i], i, st) {
+						st.MarkDirty(i)
+						changed++
+					}
+				}
+				counts[ti] = changed
+			}
+		})
+		if it == 0 {
+			for _, c := range counts {
+				solved += int(c)
+			}
+		}
+	}
+	tm.ScatterLeafTiles(st)
+	return solved, n
+}
+
 // indexedMesh is the optional fast-path contract a mesh may provide
 // (core.Tree does): a cached Z-order leaf snapshot and a leaf sweep
 // driven by it. Field results are bit-identical to the Mesh methods;
@@ -108,22 +186,79 @@ func leafCodes(m Mesh) []morton.Code {
 	return codes
 }
 
-// leafParents snapshots the distinct parents of the current leaves, in
-// first-encounter (Z) order.
+// leafParents snapshots the parents of the current leaves, in
+// first-encounter (Z) order. Siblings are contiguous in the Z-ordered
+// leaf walk, so comparing against the previous parent removes their
+// duplicates; a coarse parent interleaved with deeper subtrees (the root,
+// typically) may still appear in several runs, which the memo index
+// tolerates — duplicate entries carry the same value.
 func leafParents(m Mesh) []morton.Code {
 	var parents []morton.Code
-	seen := make(map[morton.Code]struct{})
+	var last morton.Code
 	for _, c := range leafCodes(m) {
 		if c.Level() == 0 {
 			continue
 		}
 		p := c.Parent()
-		if _, ok := seen[p]; !ok {
-			seen[p] = struct{}{}
-			parents = append(parents, p)
+		if len(parents) > 0 && p == last {
+			continue
 		}
+		parents = append(parents, p)
+		last = p
 	}
 	return parents
+}
+
+// memoIndex is a sorted exact-match lookup over a code set — the
+// replacement for the per-step map memos. A map pays an allocation and a
+// hash per entry every step; the Z-order spine is already (nearly)
+// sorted, so a binary search over left-aligned keys reads three flat
+// arrays instead. Ties on key (a coarse octant and its first-corner
+// descendants share the left-aligned key) are broken by level.
+type memoIndex struct {
+	keys []uint64
+	lvls []uint8
+	pos  []int32 // sorted entry -> position in the original slice
+}
+
+func buildMemoIndex(codes []morton.Code) *memoIndex {
+	n := len(codes)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ca, cb := codes[perm[a]], codes[perm[b]]
+		ka, kb := ca.Key(), cb.Key()
+		if ka != kb {
+			return ka < kb
+		}
+		return ca.Level() < cb.Level()
+	})
+	ix := &memoIndex{
+		keys: make([]uint64, n),
+		lvls: make([]uint8, n),
+		pos:  make([]int32, n),
+	}
+	for s, p := range perm {
+		c := codes[p]
+		ix.keys[s] = c.Key()
+		ix.lvls[s] = c.Level()
+		ix.pos[s] = p
+	}
+	return ix
+}
+
+// find returns the original-slice position of c, if present.
+func (ix *memoIndex) find(c morton.Code) (int, bool) {
+	k, l := c.Key(), c.Level()
+	s := sort.Search(len(ix.keys), func(j int) bool {
+		return ix.keys[j] > k || (ix.keys[j] == k && ix.lvls[j] >= l)
+	})
+	if s < len(ix.keys) && ix.keys[s] == k && ix.lvls[s] == l {
+		return int(ix.pos[s]), true
+	}
+	return 0, false
 }
 
 // memoPred evaluates pred over codes on the pool and returns a lookup
@@ -138,13 +273,10 @@ func memoPred(codes []morton.Code, pool *parallel.Pool, pred func(morton.Code) b
 			vals[i] = pred(codes[i])
 		}
 	})
-	memo := make(map[morton.Code]bool, len(codes))
-	for i, c := range codes {
-		memo[c] = vals[i]
-	}
+	ix := buildMemoIndex(codes)
 	return func(c morton.Code) bool {
-		if v, ok := memo[c]; ok {
-			return v
+		if i, ok := ix.find(c); ok {
+			return vals[i]
 		}
 		return pred(c)
 	}
@@ -161,14 +293,13 @@ func memoSolve(codes []morton.Code, pool *parallel.Pool, f Field, step int) func
 			phis[i] = f.PhiAtStep(x, y, z, step)
 		}
 	})
-	memo := make(map[morton.Code]float64, len(codes))
-	for i, c := range codes {
-		memo[c] = phis[i]
-	}
+	ix := buildMemoIndex(codes)
 	speed := f.Speed()
 	return func(c morton.Code, data *[DataWords]float64) bool {
-		phi, ok := memo[c]
-		if !ok {
+		var phi float64
+		if i, ok := ix.find(c); ok {
+			phi = phis[i]
+		} else {
 			x, y, z := c.Center()
 			phi = f.PhiAtStep(x, y, z, step)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"pmoctree/internal/core"
 	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
 )
 
 // leafSnapshot flattens a mesh into an ordered (code, data) listing for
@@ -43,7 +44,7 @@ func TestStepWorkersDeterminism(t *testing.T) {
 	if len(refLeaves) == 0 {
 		t.Fatal("serial run produced an empty mesh")
 	}
-	for _, workers := range []int{2, 4} {
+	for _, workers := range []int{2, 4, 7} {
 		counts, leaves, vol, m := run(workers)
 		for s := range counts {
 			if counts[s] != refCounts[s] {
@@ -66,6 +67,46 @@ func TestStepWorkersDeterminism(t *testing.T) {
 		}
 		if err := m.Validate(); err != nil {
 			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestStepForcedPoolDeterminism drives the tiled SoA solve path with
+// pools forced past the GOMAXPROCS clamp, so the parallel tile sweeps
+// run on real goroutines (and under -race, concurrently) even on
+// single-CPU machines — and still evolve the mesh bit-identically to the
+// serial driver through randomized-looking refine/coarsen churn.
+func TestStepForcedPoolDeterminism(t *testing.T) {
+	const steps = 6
+
+	run := func(pool *parallel.Pool) ([]StepCounts, []leafSnapshot, *core.Tree) {
+		m := core.Create(core.Config{})
+		f := NewDroplet(DropletConfig{Steps: steps})
+		counts := make([]StepCounts, steps)
+		for s := 0; s < steps; s++ {
+			counts[s] = StepFieldPool(m, f, s, 5, pool)
+		}
+		return counts, snapshot(m), m
+	}
+
+	refCounts, refLeaves, _ := run(nil)
+	for _, workers := range []int{2, 4, 7} {
+		counts, leaves, m := run(parallel.NewForced(workers))
+		for s := range counts {
+			if counts[s] != refCounts[s] {
+				t.Errorf("forced=%d step %d: counts %+v, serial %+v", workers, s, counts[s], refCounts[s])
+			}
+		}
+		if len(leaves) != len(refLeaves) {
+			t.Fatalf("forced=%d: %d leaves, serial %d", workers, len(leaves), len(refLeaves))
+		}
+		for i := range leaves {
+			if leaves[i] != refLeaves[i] {
+				t.Fatalf("forced=%d: leaf %d (%v) diverges from serial", workers, i, leaves[i].code)
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("forced=%d: %v", workers, err)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"sort"
 
 	"pmoctree/internal/morton"
 )
@@ -25,23 +26,26 @@ func axisOf(di int) (axis int, sign float64) {
 // with face velocity taken as the average of the two adjacent cells and
 // zero at walls (no-penetration boundaries).
 func (s *System) Divergence(u, v, w []float64, out []float64) {
+	if s.ref {
+		s.divergenceRef(u, v, w, out)
+		return
+	}
 	comp := [3][]float64{u, v, w}
+	rs, nb := s.rowStart, s.nb
 	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e := s.codes[i].Extent()
-			vol := e * e * e
 			acc := 0.0
-			for _, f := range s.faces[i] {
-				axis, sign := axisOf(f.dir)
+			for k := rs[i]; k < rs[i+1]; k++ {
+				axis, sign := axisOf(int(s.fdir[k]))
 				var uf float64
-				if f.neighbor >= 0 {
-					uf = 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				if j := nb[k]; j >= 0 {
+					uf = 0.5 * (comp[axis][i] + comp[axis][j])
 				} else {
 					uf = 0 // wall: no flow through
 				}
-				acc += sign * f.area * uf
+				acc += sign * s.farea[k] * uf
 			}
-			out[i] = acc / vol
+			out[i] = acc / s.vol[i]
 		}
 	})
 }
@@ -50,7 +54,12 @@ func (s *System) Divergence(u, v, w []float64, out []float64) {
 // transmissibility-weighted face differences (walls contribute nothing:
 // homogeneous Neumann for the projection gradient).
 func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
+	if s.ref {
+		s.gradientRef(p, gx, gy, gz)
+		return
+	}
 	out := [3][]float64{gx, gy, gz}
+	rs, nb := s.rowStart, s.nb
 	// The accumulators live inside the chunk body: hoisting them to
 	// function scope (as an earlier revision did) would be a data race
 	// once the sweep runs on the pool.
@@ -58,19 +67,19 @@ func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 		var wsum [3]float64
 		var acc [3]float64
 		for i := lo; i < hi; i++ {
-			h := s.codes[i].Extent()
+			h := s.extent[i]
 			for a := 0; a < 3; a++ {
 				wsum[a], acc[a] = 0, 0
 			}
-			for _, f := range s.faces[i] {
-				if f.neighbor < 0 {
+			for k := rs[i]; k < rs[i+1]; k++ {
+				j := nb[k]
+				if j < 0 {
 					continue
 				}
-				axis, sign := axisOf(f.dir)
-				hj := s.codes[f.neighbor].Extent()
-				d := (h + hj) / 2
-				acc[axis] += f.area * sign * (p[f.neighbor] - p[i]) / d
-				wsum[axis] += f.area
+				axis, sign := axisOf(int(s.fdir[k]))
+				d := (h + s.extent[j]) / 2
+				acc[axis] += s.farea[k] * sign * (p[j] - p[i]) / d
+				wsum[axis] += s.farea[k]
 			}
 			for a := 0; a < 3; a++ {
 				if wsum[a] > 0 {
@@ -88,14 +97,20 @@ func (s *System) Gradient(p []float64, gx, gy, gz []float64) {
 // null space. This is the projection operator of incompressible flow with
 // no-penetration walls.
 func (s *System) ApplyNeumann(x, y []float64) {
+	if s.ref {
+		s.applyNeumannRef(x, y)
+		return
+	}
+	rs, nb, tr := s.rowStart, s.nb, s.tr
 	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := 0.0
-			for _, f := range s.faces[i] {
-				if f.neighbor < 0 {
+			for k := rs[i]; k < rs[i+1]; k++ {
+				j := nb[k]
+				if j < 0 {
 					continue
 				}
-				acc += f.t * (x[i] - x[f.neighbor])
+				acc += tr[k] * (x[i] - x[j])
 			}
 			y[i] = acc
 		}
@@ -140,18 +155,7 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 
 	// Neumann diagonal (wall terms excluded) for the Jacobi preconditioner.
 	diag := make([]float64, n)
-	s.pool.RunMin(n, minStencil, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for _, f := range s.faces[i] {
-				if f.neighbor >= 0 {
-					diag[i] += f.t
-				}
-			}
-			if diag[i] == 0 {
-				diag[i] = 1 // isolated cell (single-cell mesh)
-			}
-		}
-	})
+	s.neumannDiag(diag)
 
 	r := make([]float64, n)
 	s.ApplyNeumann(x, r)
@@ -234,40 +238,51 @@ func (s *System) SolveNeumann(b []float64, x []float64, opt Options) (Result, er
 // p from SolveNeumann(-div/dt) this is zero to solver tolerance — the
 // exact discrete projection.
 func (s *System) ProjectedDivergence(u, v, w, p []float64, dt float64, out []float64) {
+	if s.ref {
+		s.projectedDivergenceRef(u, v, w, p, dt, out)
+		return
+	}
 	comp := [3][]float64{u, v, w}
+	rs, nb := s.rowStart, s.nb
 	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e := s.codes[i].Extent()
-			vol := e * e * e
 			acc := 0.0
-			for _, f := range s.faces[i] {
-				if f.neighbor < 0 {
+			for k := rs[i]; k < rs[i+1]; k++ {
+				j := nb[k]
+				if j < 0 {
 					continue
 				}
-				axis, sign := axisOf(f.dir)
-				uf := 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				axis, sign := axisOf(int(s.fdir[k]))
+				uf := 0.5 * (comp[axis][i] + comp[axis][j])
 				// Outward-normal correction: u_out -= dt (p_j - p_i)/d,
 				// i.e. flux -= dt * T * (p_j - p_i).
-				acc += sign*f.area*uf - dt*f.t*(p[f.neighbor]-p[i])
+				acc += sign*s.farea[k]*uf - dt*s.tr[k]*(p[j]-p[i])
 			}
-			out[i] = acc / vol
+			out[i] = acc / s.vol[i]
 		}
 	})
 }
 
 // CellAt returns the index of the cell containing the point (x, y, z) in
-// the unit cube, or false when the point is outside.
+// the unit cube, or false when the point is outside. The lookup is one
+// binary search over the sorted left-aligned key index (the internal/serve
+// leaf-lookup idiom) instead of up to MaxLevel map probes — the dominant
+// cost of semi-Lagrangian advection before the flattening.
 func (s *System) CellAt(x, y, z float64) (int, bool) {
 	if x < 0 || x >= 1 || y < 0 || y >= 1 || z < 0 || z >= 1 {
 		return 0, false
 	}
 	grid := float64(uint64(1) << morton.MaxLevel)
 	code := morton.Encode(uint32(x*grid), uint32(y*grid), uint32(z*grid), morton.MaxLevel)
-	if j, ok := s.index[code]; ok {
-		return j, true
+	k := code.Key()
+	i := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] > k }) - 1
+	if i < 0 {
+		return 0, false
 	}
-	if j, _, ok := s.findCoarser(code, morton.MaxLevel); ok {
-		return j, true
+	cand := int(s.perm[i])
+	lo, hi := s.codes[cand].KeySpan()
+	if k >= lo && k < hi {
+		return cand, true
 	}
 	return 0, false
 }

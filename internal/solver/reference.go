@@ -1,0 +1,165 @@
+package solver
+
+import "pmoctree/internal/morton"
+
+// Legacy AoS sweeps, selected by SetReferenceMode. Each kernel walks the
+// per-cell []face lists exactly as the pre-CSR solver did — one slice
+// header and one 32-byte face record per flux, with geometry recomputed
+// from the codes. They are kept as the A/B baseline the layout benchmarks
+// compare against and as the ground truth the bit-identity tests pin the
+// CSR sweeps to: the accumulation order and every floating-point
+// expression match the CSR forms term for term, so the two layouts round
+// identically.
+
+func (s *System) applyRef(x, y []float64) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := s.diag[i] * x[i]
+			for _, f := range s.faces[i] {
+				if f.neighbor >= 0 {
+					acc -= f.t * x[f.neighbor]
+				}
+			}
+			y[i] = acc
+		}
+	})
+}
+
+func (s *System) applyNeumannRef(x, y []float64) {
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				acc += f.t * (x[i] - x[f.neighbor])
+			}
+			y[i] = acc
+		}
+	})
+}
+
+func (s *System) divergenceRef(u, v, w []float64, out []float64) {
+	comp := [3][]float64{u, v, w}
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			vol := e * e * e
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				axis, sign := axisOf(f.dir)
+				var uf float64
+				if f.neighbor >= 0 {
+					uf = 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				} else {
+					uf = 0 // wall: no flow through
+				}
+				acc += sign * f.area * uf
+			}
+			out[i] = acc / vol
+		}
+	})
+}
+
+func (s *System) gradientRef(p []float64, gx, gy, gz []float64) {
+	out := [3][]float64{gx, gy, gz}
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		var wsum [3]float64
+		var acc [3]float64
+		for i := lo; i < hi; i++ {
+			h := s.codes[i].Extent()
+			for a := 0; a < 3; a++ {
+				wsum[a], acc[a] = 0, 0
+			}
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				axis, sign := axisOf(f.dir)
+				hj := s.codes[f.neighbor].Extent()
+				d := (h + hj) / 2
+				acc[axis] += f.area * sign * (p[f.neighbor] - p[i]) / d
+				wsum[axis] += f.area
+			}
+			for a := 0; a < 3; a++ {
+				if wsum[a] > 0 {
+					out[a][i] = acc[a] / wsum[a]
+				} else {
+					out[a][i] = 0
+				}
+			}
+		}
+	})
+}
+
+func (s *System) projectedDivergenceRef(u, v, w, p []float64, dt float64, out []float64) {
+	comp := [3][]float64{u, v, w}
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.codes[i].Extent()
+			vol := e * e * e
+			acc := 0.0
+			for _, f := range s.faces[i] {
+				if f.neighbor < 0 {
+					continue
+				}
+				axis, sign := axisOf(f.dir)
+				uf := 0.5 * (comp[axis][i] + comp[axis][f.neighbor])
+				acc += sign*f.area*uf - dt*f.t*(p[f.neighbor]-p[i])
+			}
+			out[i] = acc / vol
+		}
+	})
+}
+
+// neumannDiag fills the wall-free (Neumann) diagonal used by
+// SolveNeumann's Jacobi preconditioner, in whichever layout is active.
+func (s *System) neumannDiag(diag []float64) {
+	if s.ref {
+		s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for _, f := range s.faces[i] {
+					if f.neighbor >= 0 {
+						diag[i] += f.t
+					}
+				}
+				if diag[i] == 0 {
+					diag[i] = 1 // isolated cell (single-cell mesh)
+				}
+			}
+		})
+		return
+	}
+	rs, nb, tr := s.rowStart, s.nb, s.tr
+	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for k := rs[i]; k < rs[i+1]; k++ {
+				if nb[k] >= 0 {
+					diag[i] += tr[k]
+				}
+			}
+			if diag[i] == 0 {
+				diag[i] = 1 // isolated cell (single-cell mesh)
+			}
+		}
+	})
+}
+
+// referenceCellAt is the pre-CSR point lookup: an exact-match map probe at
+// the finest level followed by an ancestor walk. Kept for the equivalence
+// test pinning CellAt's binary search to it.
+func (s *System) referenceCellAt(x, y, z float64) (int, bool) {
+	if x < 0 || x >= 1 || y < 0 || y >= 1 || z < 0 || z >= 1 {
+		return 0, false
+	}
+	grid := float64(uint64(1) << morton.MaxLevel)
+	code := morton.Encode(uint32(x*grid), uint32(y*grid), uint32(z*grid), morton.MaxLevel)
+	if j, ok := s.index[code]; ok {
+		return j, true
+	}
+	if j, _, ok := s.findCoarser(code, morton.MaxLevel); ok {
+		return j, true
+	}
+	return 0, false
+}

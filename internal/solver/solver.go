@@ -24,6 +24,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pmoctree/internal/morton"
 	"pmoctree/internal/parallel"
@@ -50,6 +51,13 @@ type face struct {
 
 // System is the assembled Poisson operator on one mesh snapshot.
 //
+// The hot kernels sweep the flat CSR face arrays (rowStart/nb/tr/...): one
+// contiguous run of neighbor indices and coefficients per cell, in
+// ascending Z-order, instead of chasing a []face slice header per cell.
+// The legacy AoS layout (faces) is retained behind SetReferenceMode for
+// the A/B benchmarks and the bit-identity tests that pin the two layouts
+// to the same results (DESIGN.md decision 16).
+//
 // A System is safe for concurrent read-only use (Apply, Divergence, ...
 // into caller-owned output vectors); the iterative solvers own their
 // scratch state, so distinct Solve calls on distinct vectors may also run
@@ -60,11 +68,38 @@ type System struct {
 	faces [][]face
 	diag  []float64 // sum of transmissibilities per cell
 
+	// CSR face arrays: cell i's faces are entries
+	// [rowStart[i], rowStart[i+1]) of nb/tr/fdir/farea, in the same order
+	// the AoS assembly produced them (so accumulations are bit-identical).
+	rowStart []int32
+	nb       []int32 // adjacent cell index, -1 for a wall
+	tr       []float64
+	fdir     []uint8
+	farea    []float64
+
+	// Per-cell geometry, precomputed once at build.
+	extent []float64
+	vol    []float64 // extent^3, evaluated exactly like the sweeps did
+
+	// Sorted point-location index: keys[k] = codes[perm[k]].Key(),
+	// ascending — CellAt binary-searches this instead of probing the map
+	// level by level.
+	keys []uint64
+	perm []int32
+
+	ref bool // sweep the legacy AoS layout instead of CSR
+
 	// pool schedules the matrix-free kernels; nil runs them inline.
 	// Reductions go through the pool's blocked summation either way, so
 	// results are bit-identical at every worker count.
 	pool *parallel.Pool
 }
+
+// SetReferenceMode selects the legacy AoS face-list sweeps instead of the
+// flat CSR arrays. Results are bit-identical either way; the reference
+// path exists so benchmarks can decompose layout from scheduling and so
+// tests can pin the identity.
+func (s *System) SetReferenceMode(on bool) { s.ref = on }
 
 // SetWorkers sets the worker count for the system's kernels (SpMV,
 // axpy-style sweeps, reductions). n <= 0 selects GOMAXPROCS; 1 restores
@@ -154,7 +189,52 @@ func Build(leaves []morton.Code) (*System, error) {
 			}
 		}
 	}
+	s.flatten()
 	return s, nil
+}
+
+// flatten transposes the AoS face lists into the CSR arrays, precomputes
+// per-cell geometry, and builds the sorted point-location index. Face
+// order within each row is preserved exactly, so every CSR accumulation
+// rounds identically to its AoS counterpart.
+func (s *System) flatten() {
+	n := len(s.codes)
+	total := 0
+	for i := range s.faces {
+		total += len(s.faces[i])
+	}
+	s.rowStart = make([]int32, n+1)
+	s.nb = make([]int32, 0, total)
+	s.tr = make([]float64, 0, total)
+	s.fdir = make([]uint8, 0, total)
+	s.farea = make([]float64, 0, total)
+	s.extent = make([]float64, n)
+	s.vol = make([]float64, n)
+	for i, fl := range s.faces {
+		s.rowStart[i] = int32(len(s.nb))
+		for _, f := range fl {
+			s.nb = append(s.nb, int32(f.neighbor))
+			s.tr = append(s.tr, f.t)
+			s.fdir = append(s.fdir, uint8(f.dir))
+			s.farea = append(s.farea, f.area)
+		}
+		e := s.codes[i].Extent()
+		s.extent[i] = e
+		s.vol[i] = e * e * e
+	}
+	s.rowStart[n] = int32(len(s.nb))
+
+	s.perm = make([]int32, n)
+	for i := range s.perm {
+		s.perm[i] = int32(i)
+	}
+	sort.Slice(s.perm, func(a, b int) bool {
+		return s.codes[s.perm[a]].Key() < s.codes[s.perm[b]].Key()
+	})
+	s.keys = make([]uint64, n)
+	for k, p := range s.perm {
+		s.keys[k] = s.codes[p].Key()
+	}
 }
 
 // findCoarser walks up the ancestors of n looking for an existing cell.
@@ -209,12 +289,17 @@ func (s *System) Codes() []morton.Code { return s.codes }
 // Dirichlet walls: (Ax)_i = sum_f T_f (x_i - x_j), wall x_j = 0. Rows are
 // independent, so the sweep parallelizes without changing any result bit.
 func (s *System) Apply(x, y []float64) {
+	if s.ref {
+		s.applyRef(x, y)
+		return
+	}
+	rs, nb, tr := s.rowStart, s.nb, s.tr
 	s.pool.RunMin(len(s.codes), minStencil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := s.diag[i] * x[i]
-			for _, f := range s.faces[i] {
-				if f.neighbor >= 0 {
-					acc -= f.t * x[f.neighbor]
+			for k := rs[i]; k < rs[i+1]; k++ {
+				if j := nb[k]; j >= 0 {
+					acc -= tr[k] * x[j]
 				}
 			}
 			y[i] = acc

@@ -1,0 +1,199 @@
+package tile
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/octree"
+	"pmoctree/internal/parallel"
+)
+
+// adaptiveCodes builds a Z-ordered adaptive leaf set: refined around a
+// diagonal band, like the interface meshes the workloads produce.
+func adaptiveCodes(t testing.TB, level uint8) []morton.Code {
+	t.Helper()
+	tr := octree.New()
+	tr.RefineWhere(func(c morton.Code) bool {
+		x, y, z := c.Center()
+		d := x + y + z - 1.5
+		if d < 0 {
+			d = -d
+		}
+		return d < 0.3
+	}, level)
+	tr.Balance()
+	return tr.LeafCodes()
+}
+
+func TestResetLayout(t *testing.T) {
+	codes := adaptiveCodes(t, 5)
+	var s Store
+	s.Reset(codes)
+
+	if s.N() != len(codes) {
+		t.Fatalf("N = %d, want %d", s.N(), len(codes))
+	}
+	if got := s.Codes(); len(got) != len(codes) {
+		t.Fatalf("Codes len %d, want %d", len(got), len(codes))
+	}
+	// Tiles partition [0, n) exactly, never exceed capacity, and never
+	// span an anchor boundary.
+	covered := 0
+	for ti := 0; ti < s.Tiles(); ti++ {
+		lo, hi := s.TileBounds(ti)
+		if hi <= lo {
+			t.Fatalf("tile %d empty: [%d, %d)", ti, lo, hi)
+		}
+		if hi-lo > Size {
+			t.Fatalf("tile %d holds %d cells, capacity %d", ti, hi-lo, Size)
+		}
+		if lo != covered {
+			t.Fatalf("tile %d starts at %d, want %d (gap or overlap)", ti, lo, covered)
+		}
+		a := anchorOf(codes[lo])
+		for i := lo; i < hi; i++ {
+			if anchorOf(codes[i]) != a {
+				t.Fatalf("tile %d spans anchors %v and %v", ti, a, anchorOf(codes[i]))
+			}
+		}
+		covered = hi
+	}
+	if covered != len(codes) {
+		t.Fatalf("tiles cover %d cells, want %d", covered, len(codes))
+	}
+
+	// Histogram sums back to the tile and cell counts.
+	hist := s.OccupancyHistogram()
+	tiles, cells := 0, 0
+	for k, n := range hist {
+		tiles += n
+		cells += k * n
+	}
+	if tiles != s.Tiles() || cells != s.N() {
+		t.Fatalf("histogram sums to %d tiles / %d cells, want %d / %d", tiles, cells, s.Tiles(), s.N())
+	}
+	if occ := s.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy %v out of (0, 1]", occ)
+	}
+}
+
+func TestUniformMeshPacksFullTiles(t *testing.T) {
+	tr := octree.New()
+	tr.RefineWhere(func(morton.Code) bool { return true }, 4)
+	var s Store
+	s.Reset(tr.LeafCodes())
+	// 16^3 uniform cells = 4096, all same level: every tile must be full.
+	hist := s.OccupancyHistogram()
+	if hist[Size] != s.Tiles() {
+		t.Fatalf("uniform mesh: %d full tiles of %d total; histogram %v", hist[Size], s.Tiles(), hist)
+	}
+	if s.Occupancy() != 1 {
+		t.Fatalf("uniform mesh occupancy %v, want 1", s.Occupancy())
+	}
+}
+
+func TestDirtyFlags(t *testing.T) {
+	codes := adaptiveCodes(t, 4)
+	var s Store
+	s.Reset(codes)
+	marks := []int{0, 3, len(codes) - 1}
+	for _, i := range marks {
+		s.MarkDirty(i)
+	}
+	if s.DirtyCount() != len(marks) {
+		t.Fatalf("DirtyCount = %d, want %d", s.DirtyCount(), len(marks))
+	}
+	var got []int
+	s.ForEachDirty(func(i int) { got = append(got, i) })
+	for k, i := range marks {
+		if got[k] != i {
+			t.Fatalf("dirty order %v, want %v", got, marks)
+		}
+	}
+	s.ClearDirty()
+	if s.DirtyCount() != 0 {
+		t.Fatalf("DirtyCount after clear = %d", s.DirtyCount())
+	}
+	// Reset clears marks too.
+	s.MarkDirty(1)
+	s.Reset(codes)
+	if s.DirtyCount() != 0 {
+		t.Fatal("Reset kept dirty flags")
+	}
+}
+
+func TestStamping(t *testing.T) {
+	var s Store
+	s.Reset(adaptiveCodes(t, 3))
+	if s.ValidFor(0) {
+		t.Fatal("fresh store valid before Stamp")
+	}
+	s.Stamp(7)
+	if !s.ValidFor(7) || s.ValidFor(8) {
+		t.Fatal("stamp mismatch")
+	}
+	s.Reset(adaptiveCodes(t, 3))
+	if s.ValidFor(7) {
+		t.Fatal("Reset kept the stamp")
+	}
+}
+
+// TestRunTileRangesCoverage: every tile is handed out exactly once, chunk
+// boundaries are tile boundaries, and parallel scheduling covers the same
+// set as serial.
+func TestRunTileRangesCoverage(t *testing.T) {
+	var s Store
+	s.Reset(adaptiveCodes(t, 5))
+	for _, workers := range []int{1, 4} {
+		var pool *parallel.Pool
+		if workers > 1 {
+			// Forced width: real goroutines even on single-CPU machines,
+			// so -race sees the concurrent chunk handout.
+			pool = parallel.NewForced(workers)
+		}
+		seen := make([]int32, s.Tiles())
+		var mu sync.Mutex
+		s.RunTileRanges(pool, 1, func(lo, hi int) {
+			mu.Lock()
+			for ti := lo; ti < hi; ti++ {
+				seen[ti]++
+			}
+			mu.Unlock()
+		})
+		for ti, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: tile %d scheduled %d times", workers, ti, n)
+			}
+		}
+	}
+}
+
+// TestSetLoadRoundTrip: SoA storage round-trips per-cell records.
+func TestSetLoadRoundTrip(t *testing.T) {
+	codes := adaptiveCodes(t, 4)
+	var s Store
+	s.Reset(codes)
+	rng := rand.New(rand.NewSource(42))
+	want := make([][Words]float64, len(codes))
+	for i := range want {
+		for w := 0; w < Words; w++ {
+			want[i][w] = rng.NormFloat64()
+		}
+		s.Set(i, want[i])
+	}
+	for i := range want {
+		if got := s.Load(i); got != want[i] {
+			t.Fatalf("cell %d: %v, want %v", i, got, want[i])
+		}
+	}
+	// The flat slices alias the same storage.
+	for w := 0; w < Words; w++ {
+		for i := range want {
+			if s.F[w][i] != want[i][w] {
+				t.Fatalf("F[%d][%d] = %v, want %v", w, i, s.F[w][i], want[i][w])
+			}
+		}
+	}
+}
