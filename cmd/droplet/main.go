@@ -49,6 +49,7 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write per-step JSONL records to `file`")
 		debugAddr   = flag.String("debug", "", "serve expvar/metrics/pprof on `addr` (e.g. localhost:6060)")
 		workers     = flag.Int("workers", 0, "worker-pool width for predicate/solve evaluation (0 = GOMAXPROCS); results are identical for any value")
+		bulkInit    = flag.Bool("bulkinit", false, "build the first step's mesh by bulk construction from Morton codes instead of incremental refinement (bit-identical result)")
 		chaosSeed   = flag.Int64("chaos", 0, "run the chaos soak with this fault-injection `seed` (nonzero) instead of a clean run")
 		retain      = flag.Int("retain", 0, "extra committed versions to retain in the fallback ring (0..2); gives cmd/pmserve -history older versions to serve")
 		chaosQuery  = flag.Int("chaosreaders", 0, "with -chaos: run this many concurrent MVCC snapshot readers against pinned versions during the soak")
@@ -186,7 +187,14 @@ func main() {
 	prevOps := tree.Stats()
 	for s := 1; s <= *steps; s++ {
 		mark := obs.Mark()
-		sc := pmoctree.StepPool(tree, d, s, uint8(*maxLevel), pool)
+		var sc pmoctree.StepCounts
+		if ok := false; *bulkInit && s == 1 {
+			if sc, ok = pmoctree.ConstructInitialStep(tree, d, s, uint8(*maxLevel), pool); !ok {
+				sc = pmoctree.StepPool(tree, d, s, uint8(*maxLevel), pool)
+			}
+		} else {
+			sc = pmoctree.StepPool(tree, d, s, uint8(*maxLevel), pool)
+		}
 		vs := tree.VersionStats()
 		writes := nv.Stats().Writes
 		if !*quiet {

@@ -14,6 +14,11 @@
 //	pmrouter -image run.img -inproc 3                single-process demo: route
 //	                                                 across N in-process shards
 //	                                                 over one restored image
+//	pmrouter -images s0.img,s1.img                   route across in-process
+//	                                                 shards restored from
+//	                                                 materialized per-shard
+//	                                                 arenas (pmserve
+//	                                                 -materialize output)
 //	pmrouter ... -script queries.json                batch mode: print one
 //	                                                 "<status> <body>" line per
 //	                                                 query, exit (CI smoke)
@@ -62,6 +67,7 @@ func main() {
 		replicaList = flag.String("replicas", "", "comma-separated replica base URLs aligned with -shards (blank entry = no replica)")
 		image       = flag.String("image", "", "NVBM device image for -inproc mode")
 		inproc      = flag.Int("inproc", 0, "run this many in-process shards over -image instead of -shards")
+		images      = flag.String("images", "", "comma-separated per-shard NVBM images (pmserve -materialize output, ascending span order): each in-process shard restores only its own arena; note healthy-peer takeover cannot cover a dead shard's span in this mode, since no peer holds it")
 		addr        = flag.String("addr", "localhost:8078", "listen address for serve mode")
 		keep        = flag.Int("keep", 4, "committed versions to keep pinned per in-process shard")
 
@@ -74,8 +80,10 @@ func main() {
 
 		script     = flag.String("script", "", "batch mode: JSON array of request paths to run and print")
 		loadgen    = flag.Bool("loadgen", false, "closed-loop load generation over -script; writes an SLO JSON summary and exits")
-		lgClients  = flag.Int("loadgen-clients", 4, "concurrent closed-loop clients for -loadgen")
+		lgClients  = flag.Int("loadgen-clients", 4, "concurrent clients for -loadgen (closed-loop: offered load; open-loop: in-flight bound)")
 		lgRequests = flag.Int("loadgen-requests", 400, "total requests for -loadgen")
+		lgRate     = flag.Float64("loadgen-rate", 0, "open-loop -loadgen: offer this many requests/second on a fixed schedule regardless of service rate (0 = closed loop); latency counts queueing from the scheduled arrival")
+		lgPoisson  = flag.Bool("loadgen-poisson", false, "draw open-loop inter-arrival gaps from a Poisson process at -loadgen-rate instead of a fixed interval")
 		sloOut     = flag.String("slo-out", "", "write the -loadgen SLO JSON to this file (default stdout)")
 
 		chaos       = flag.Bool("chaos", false, "run the router chaos soak and exit")
@@ -115,7 +123,7 @@ func main() {
 	}
 	defer dumpFlight()
 
-	shards, cleanup, err := buildShards(*shardList, *replicaList, *image, *inproc, *keep, reg, flight)
+	shards, cleanup, err := buildShards(*shardList, *replicaList, *image, *images, *inproc, *keep, reg, flight)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmrouter:", err)
 		os.Exit(2)
@@ -159,7 +167,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmrouter: -loadgen needs -script (the query mix to replay)")
 			os.Exit(2)
 		}
-		doc, err := serve.RunLoadgen(mux, *script, *lgClients, *lgRequests)
+		doc, err := serve.RunLoadgenOpts(mux, *script, serve.LoadgenOptions{
+			Clients:  *lgClients,
+			Requests: *lgRequests,
+			Rate:     *lgRate,
+			Poisson:  *lgPoisson,
+			Seed:     *seed,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmrouter: loadgen: %v\n", err)
 			os.Exit(1)
@@ -219,14 +233,60 @@ func main() {
 }
 
 // buildShards assembles the backend set: HTTP backends over -shards (with
-// optional aligned -replicas), or -inproc local shards sharing one
-// restored image (every arena holds the full copy; the router's span map
-// partitions responsibility).
-func buildShards(shardList, replicaList, image string, inproc, keep int,
+// optional aligned -replicas), -inproc local shards sharing one restored
+// image (every arena holds the full copy; the router's span map partitions
+// responsibility), or -images local shards each restoring its own
+// materialized per-shard arena (pmserve -materialize output) so shard i's
+// process footprint scales with its span, not the whole mesh.
+func buildShards(shardList, replicaList, image, images string, inproc, keep int,
 	reg *telemetry.Registry, flight *telemetry.FlightRecorder) ([]router.ShardConfig, func(), error) {
 	cleanup := func() {}
-	if shardList != "" && inproc > 0 {
-		return nil, cleanup, fmt.Errorf("-shards and -inproc are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{shardList != "", inproc > 0, images != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return nil, cleanup, fmt.Errorf("-shards, -inproc, and -images are mutually exclusive")
+	}
+
+	if images != "" {
+		paths := strings.Split(images, ",")
+		var closers []func()
+		cleanup = func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		}
+		out := make([]router.ShardConfig, len(paths))
+		for i, p := range paths {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, cleanup, fmt.Errorf("-images entry %d is empty", i)
+			}
+			dev, err := pmoctree.OpenDeviceFile(p)
+			if err != nil {
+				return nil, cleanup, fmt.Errorf("shard %d image: %w", i, err)
+			}
+			tree, err := pmoctree.Restore(pmoctree.Config{NVBMDevice: dev, VerifyRestore: true})
+			if err != nil {
+				return nil, cleanup, fmt.Errorf("restoring shard %d from %s: %w", i, p, err)
+			}
+			cat := serve.NewCatalog(tree, serve.Config{Keep: keep, Registry: reg})
+			sched := serve.NewScheduler(serve.SchedulerConfig{Registry: reg, Recorder: flight})
+			closers = append(closers, func() {
+				sched.Close()
+				cat.Close()
+			})
+			s, err := cat.Publish()
+			if err != nil {
+				return nil, cleanup, fmt.Errorf("publishing shard %d: %w", i, err)
+			}
+			s.Close()
+			out[i].Primary = router.NewLocalBackend(fmt.Sprintf("shard%d", i), cat, sched)
+		}
+		return out, cleanup, nil
 	}
 
 	if shardList != "" {

@@ -13,6 +13,11 @@
 //	                                             queries, print one
 //	                                             "<status> <body>" line per
 //	                                             query, exit (CI smoke)
+//	pmserve -image run.img -materialize 1/4 \
+//	        -out s1.img                          carve shard 1-of-4's Z-order
+//	                                             span into a small per-shard
+//	                                             arena (serve with
+//	                                             pmrouter -images)
 //
 // With -history (the default), versions retained in the fallback ring
 // (cmd/droplet -retain) are published alongside the newest commit, so
@@ -43,6 +48,7 @@ import (
 	"time"
 
 	"pmoctree"
+	"pmoctree/internal/bulk"
 	"pmoctree/internal/router"
 	"pmoctree/internal/serve"
 	"pmoctree/internal/telemetry"
@@ -69,9 +75,15 @@ func main() {
 		traceDump  = flag.String("tracedump", "", "write retained request traces as Chrome trace JSON to this file on exit")
 		flightDump = flag.String("flightdump", "", "write the flight-recorder ring as JSONL to this file on exit and on SIGQUIT")
 
-		loadgen    = flag.Bool("loadgen", false, "closed-loop load generation over the -script query mix; writes an SLO JSON summary and exits")
-		lgClients  = flag.Int("loadgen-clients", 4, "concurrent closed-loop clients for -loadgen")
+		materialize = flag.String("materialize", "", "materialize shard `i/N`: bulk-construct a per-shard arena holding only shard i's Z-order key span (the rest of the domain tiled by a zero-payload cover), write it to -out, print the footprint, and exit; serve the result with pmrouter -images")
+		matOut      = flag.String("out", "", "per-shard NVBM image file to write for -materialize")
+
+		loadgen    = flag.Bool("loadgen", false, "load generation over the -script query mix; writes an SLO JSON summary and exits (closed loop unless -loadgen-rate is set)")
+		lgClients  = flag.Int("loadgen-clients", 4, "concurrent clients for -loadgen (closed-loop: offered load; open-loop: in-flight bound)")
 		lgRequests = flag.Int("loadgen-requests", 400, "total requests for -loadgen")
+		lgRate     = flag.Float64("loadgen-rate", 0, "open-loop -loadgen: offer this many requests/second on a fixed schedule regardless of service rate (0 = closed loop); latency counts queueing from the scheduled arrival")
+		lgPoisson  = flag.Bool("loadgen-poisson", false, "draw open-loop inter-arrival gaps from a Poisson process at -loadgen-rate instead of a fixed interval")
+		lgSeed     = flag.Int64("loadgen-seed", 1, "seed for the -loadgen-poisson arrival schedule")
 		sloOut     = flag.String("slo-out", "", "write the -loadgen SLO JSON to this file (default stdout)")
 	)
 	flag.Parse()
@@ -89,6 +101,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmserve: restoring tree: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *materialize != "" {
+		os.Exit(runMaterialize(tree, dev, *materialize, *matOut))
 	}
 
 	reg := telemetry.NewRegistry()
@@ -187,7 +203,13 @@ func main() {
 			os.Exit(2)
 		}
 		runSimulation(tree, cat, *simulate, *maxLevel, 0)
-		doc, err := serve.RunLoadgen(mux, *script, *lgClients, *lgRequests)
+		doc, err := serve.RunLoadgenOpts(mux, *script, serve.LoadgenOptions{
+			Clients:  *lgClients,
+			Requests: *lgRequests,
+			Rate:     *lgRate,
+			Poisson:  *lgPoisson,
+			Seed:     *lgSeed,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmserve: loadgen: %v\n", err)
 			os.Exit(1)
@@ -251,6 +273,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runMaterialize builds the per-shard arena for -materialize and writes
+// it to out. Exit codes: 0 success, 2 flag misuse (bad spec, missing
+// -out), 3 malformed bulk input (the typed validation errors), 1
+// everything else.
+func runMaterialize(tree *pmoctree.Tree, src *pmoctree.Device, spec, out string) int {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "pmserve: -materialize needs -out (the per-shard image file to write)")
+		return 2
+	}
+	kr, err := router.ParseShardSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+		return 2
+	}
+	dev := pmoctree.NewNVBM()
+	_, st, err := router.MaterializeShard(tree, kr, pmoctree.Config{NVBMDevice: dev}, nil)
+	if err != nil {
+		if bulk.IsInputError(err) {
+			fmt.Fprintf(os.Stderr, "pmserve: materialize %s: malformed leaf set: %v\n", spec, err)
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "pmserve: materialize %s: %v\n", spec, err)
+		return 1
+	}
+	if err := dev.PersistFile(out); err != nil {
+		fmt.Fprintf(os.Stderr, "pmserve: writing %s: %v\n", out, err)
+		return 1
+	}
+	fmt.Printf("pmserve: materialized shard %s into %s: %d kept leaves + %d fillers (%d octants), %d bytes vs %d full (%.0f%%)\n",
+		spec, out, st.Kept, st.Fillers, st.Nodes, dev.Size(), src.Size(),
+		100*float64(dev.Size())/float64(src.Size()))
+	return 0
 }
 
 // watchSaturation polls the scheduler's rejection counter and flips the

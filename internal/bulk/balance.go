@@ -1,0 +1,110 @@
+package bulk
+
+import (
+	"sort"
+
+	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
+)
+
+// Balance validates leaves as a partition of the domain and returns the
+// minimal 2:1 face-balanced refinement of it: the same fixed point
+// core.Tree.Balance reaches by incremental splitting, computed here over
+// the flat sorted array. The input slice is not modified; the result is
+// sorted by Key.
+func Balance(leaves []morton.Code, pool *parallel.Pool) ([]morton.Code, error) {
+	sorted, src, err := validateAndSort(leaves, pool)
+	if err != nil {
+		return nil, err
+	}
+	sorted, _ = balanceClosure(sorted, src, pool)
+	return sorted, nil
+}
+
+// balanceClosure iterates split rounds until no leaf violates the 2:1
+// face constraint. Each round replicates core.findViolators exactly: every
+// leaf at level >= 2 probes its up-to-6 same-level face neighbors
+// (siblings inside its own parent are skipped — same level by
+// construction), locates the leaf covering each neighbor's anchor cell,
+// and marks it for splitting when it is more than one level coarser.
+// Split children inherit the split leaf's src index, mirroring how
+// incremental refinement copies payload down to new children.
+//
+// The marking pass writes one slot per (probing leaf, face), so which
+// leaves split in a round — and therefore the fixed point's leaf order —
+// never depends on chunk boundaries. The fixed point itself is the unique
+// minimal balanced refinement, the same set core.Tree.Balance produces.
+func balanceClosure(leaves []morton.Code, src []int32, pool *parallel.Pool) ([]morton.Code, []int32) {
+	for {
+		n := len(leaves)
+		cells := make([]uint64, n)
+		pool.Run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cells[i] = leaves[i].Key() >> 6
+			}
+		})
+		viol := make([]int32, 6*n)
+		pool.Run(n, func(lo, hi int) {
+			var scratch [6]morton.Code
+			for i := lo; i < hi; i++ {
+				for f := 0; f < 6; f++ {
+					viol[6*i+f] = -1
+				}
+				o := leaves[i]
+				if o.Level() < 2 {
+					continue
+				}
+				par := o.Parent()
+				for f, nb := range o.FaceNeighbors(scratch[:0]) {
+					if nb.Parent() == par {
+						continue
+					}
+					// int arithmetic: when the neighbor region is MORE
+					// refined the covering leaf is deeper than o and the
+					// difference goes negative (core's FindLeaf returns an
+					// internal node there and skips it the same way).
+					j := coveringLeaf(cells, nb)
+					if int(o.Level())-int(leaves[j].Level()) > 1 {
+						viol[6*i+f] = int32(j)
+					}
+				}
+			}
+		})
+		split := make([]bool, n)
+		nsplit := 0
+		for _, v := range viol {
+			if v >= 0 && !split[v] {
+				split[v] = true
+				nsplit++
+			}
+		}
+		if nsplit == 0 {
+			return leaves, src
+		}
+		// Children of a split leaf are contiguous and ascending in Key, so
+		// the rebuilt array stays sorted.
+		out := make([]morton.Code, 0, n+7*nsplit)
+		osrc := make([]int32, 0, n+7*nsplit)
+		for i, c := range leaves {
+			if split[i] {
+				for k := 0; k < 8; k++ {
+					out = append(out, c.Child(k))
+					osrc = append(osrc, src[i])
+				}
+			} else {
+				out = append(out, c)
+				osrc = append(osrc, src[i])
+			}
+		}
+		leaves, src = out, osrc
+	}
+}
+
+// coveringLeaf returns the index of the leaf whose region contains the
+// anchor cell of nb: because the sorted leaves partition the domain, it is
+// the last leaf whose start cell is <= nb's start cell. This is the flat
+// equivalent of core's FindLeaf walk.
+func coveringLeaf(cells []uint64, nb morton.Code) int {
+	cell := nb.Key() >> 6
+	return sort.Search(len(cells), func(k int) bool { return cells[k] > cell }) - 1
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"pmoctree/internal/bulk"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
+	"pmoctree/internal/pmem"
+	"pmoctree/internal/telemetry"
+	"pmoctree/internal/tile"
+)
+
+// ConstructStateError reports a bulk construction attempted while the
+// working version holds uncommitted mutations; construction replaces the
+// whole working tree, so it is only legal at a step boundary (cur ==
+// committed), where nothing would be silently discarded.
+type ConstructStateError struct {
+	Step uint64
+}
+
+func (e *ConstructStateError) Error() string {
+	return fmt.Sprintf("core: ConstructFromCodes at step %d with uncommitted working-version mutations", e.Step)
+}
+
+// AdvanceStepTo fast-forwards the working version number without
+// committing anything, so a tree constructed from another tree's leaf
+// codes can commit at the SAME version number as its source — shard
+// materialization uses this to keep per-shard catalogs version-consistent
+// with the full arena. Forward-only, and only at a step boundary.
+func (t *Tree) AdvanceStepTo(step uint64) error {
+	if t.cur != t.committed {
+		return &ConstructStateError{Step: t.step}
+	}
+	if step < t.step {
+		return fmt.Errorf("core: AdvanceStepTo(%d) would rewind step %d", step, t.step)
+	}
+	t.step = step
+	return nil
+}
+
+// ConstructFromCodes replaces the working version with a tree built in
+// bulk from a slice of leaf Morton codes, Cornerstone-style (see
+// internal/bulk): parallel sort + typed validation, top-down derivation of
+// the internal structure from common key prefixes, optional 2:1 balance
+// enforcement, then one contiguous arena run (pmem.AllocRun) filled by a
+// single span-coalesced device write. data, when non-empty, must be
+// len(codes) long and carries each input leaf's field payload;
+// balance-split children inherit their source leaf's payload, exactly as
+// incremental refinement copies data down. Internal nodes carry zero data,
+// matching a tree refined from a fresh root.
+//
+// The resulting working version is bit-identical (digest equality) to the
+// same leaf set built by incremental refine + UpdateLeaves, at any worker
+// count. The leaf index, leaf-code snapshot and tile store are pre-filled
+// and stamped valid, so the first gather after construction is free.
+//
+// The caller commits with Persist as usual; every constructed octant is
+// already NVBM-resident, so the persist merge has nothing to move (the
+// step boundary is detected and the merge walk skipped). Returns the total
+// octant count (internal + leaves). Validation failures return the typed
+// bulk errors (*bulk.DuplicateCodeError, *bulk.OverlapError, ...)
+// unwrapped, with the tree untouched.
+func (t *Tree) ConstructFromCodes(codes []morton.Code, data [][DataWords]float64, pool *parallel.Pool, balance bool) (int, error) {
+	if t.cur != t.committed {
+		return 0, &ConstructStateError{Step: t.step}
+	}
+	if len(data) != 0 && len(data) != len(codes) {
+		return 0, fmt.Errorf("core: ConstructFromCodes got %d payloads for %d codes", len(data), len(codes))
+	}
+	defer t.span("Construct").End()
+	bt, err := bulk.Construct(codes, bulk.Options{Pool: pool, Balance: balance})
+	if err != nil {
+		return 0, err
+	}
+	nn := len(bt.Nodes)
+	stride := t.nv.Stride()
+	base := t.nv.AllocRun(nn)
+	ref := func(idx int32) Ref {
+		if idx < 0 {
+			return NilRef
+		}
+		return makeRef(false, base+pmem.Handle(idx))
+	}
+	buf := make([]byte, nn*stride)
+	pool.Run(nn, func(lo, hi int) {
+		var o Octant
+		for j := lo; j < hi; j++ {
+			o = Octant{
+				Code:    bt.Nodes[j],
+				Parent:  ref(bt.Parent[j]),
+				Version: t.step,
+			}
+			for k := 0; k < 8; k++ {
+				o.Children[k] = ref(bt.Children[8*j+k])
+			}
+			if li := bt.NodeLeaf[j]; li >= 0 && len(data) > 0 {
+				o.Data = data[bt.SrcIdx[li]]
+			}
+			o.encode(buf[j*stride:])
+		}
+	})
+	t.nv.WriteSpanExclusive(base, buf)
+	t.cur = makeRef(false, base)
+	t.depth = bt.Depth
+
+	// The span write bypassed writeOct, so invalidate explicitly; then
+	// pre-fill the leaf index and tile store from the flat derivation and
+	// stamp them valid, so the first parallel sweep re-gathers nothing.
+	t.cacheInvalidateAll()
+	t.invalidateLeafIndex()
+	nl := len(bt.Leaves)
+	t.leafSnap = t.leafSnap[:0]
+	t.leafCodesSnap = t.leafCodesSnap[:0]
+	for i := 0; i < nl; i++ {
+		e := LeafEntry{Code: bt.Leaves[i], Ref: ref(bt.LeafNode[i])}
+		if len(data) > 0 {
+			e.Data = data[bt.SrcIdx[i]]
+		}
+		t.leafSnap = append(t.leafSnap, e)
+		t.leafCodesSnap = append(t.leafCodesSnap, e.Code)
+	}
+	t.leafSnapSeq = t.mutSeq
+	t.leafSnapOK = true
+	t.leafCodesOK = true
+	if t.tiles == nil {
+		t.tiles = new(tile.Store)
+	}
+	t.tiles.Reset(t.leafCodesSnap)
+	for i := range t.leafSnap {
+		t.tiles.Set(i, t.leafSnap[i].Data)
+	}
+	t.tiles.Stamp(t.mutSeq)
+
+	// Mark the step boundary clean for Persist: as long as no further
+	// mutation lands, the merge walk is provably a no-op and is skipped.
+	t.constructClean = true
+	t.constructSeq = t.mutSeq
+	t.stats.Constructs++
+	t.flight.Record(telemetry.FlightEvent{Kind: "construct", Step: t.step, Value: uint64(nn)})
+	return nn, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"pmoctree/internal/bulk"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
+)
+
+// Construct-from-codes vs incremental refinement at serving scale: both
+// build and commit the same ~10^5-leaf sphere-shell mesh with per-leaf
+// payloads. CI gates BenchmarkConstructIncremental/
+// BenchmarkConstructFromCodes >= 2 within one recorded document, so the
+// ratio is machine-independent.
+
+const benchShellLevel = 7
+
+func benchShellPred() func(morton.Code) bool {
+	return sphere(0.5, 0.5, 0.5, 0.3, 0.02)
+}
+
+func benchPayload(c morton.Code) [DataWords]float64 {
+	x, y, z := c.Center()
+	return [DataWords]float64{x + 2*y + 3*z, float64(c.Level()) + 0.25, x * y * z, z - x}
+}
+
+// benchShellCodes descends the predicate once to the leaf partition the
+// incremental path would produce, so the bulk path starts from raw codes
+// exactly as a scenario loader would.
+func benchShellCodes(tb testing.TB) []morton.Code {
+	pred := benchShellPred()
+	var out []morton.Code
+	var walk func(c morton.Code)
+	walk = func(c morton.Code) {
+		if c.Level() < benchShellLevel && pred(c) {
+			for k := 0; k < 8; k++ {
+				walk(c.Child(k))
+			}
+			return
+		}
+		out = append(out, c)
+	}
+	walk(morton.Root)
+	balanced, err := bulk.Balance(out, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return balanced
+}
+
+func BenchmarkConstructIncremental(b *testing.B) {
+	pred := benchShellPred()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := Create(Config{})
+		t.RefineWhere(pred, benchShellLevel)
+		t.Balance()
+		t.UpdateLeaves(func(c morton.Code, d *[DataWords]float64) bool {
+			*d = benchPayload(c)
+			return true
+		})
+		t.Persist()
+		if i == 0 {
+			b.ReportMetric(float64(t.LeafCount()), "leaves")
+		}
+	}
+}
+
+func BenchmarkConstructFromCodes(b *testing.B) {
+	codes := benchShellCodes(b)
+	data := make([][DataWords]float64, len(codes))
+	for i, c := range codes {
+		data[i] = benchPayload(c)
+	}
+	pool := parallel.New(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := Create(Config{})
+		if _, err := t.ConstructFromCodes(codes, data, pool, false); err != nil {
+			b.Fatal(err)
+		}
+		t.Persist()
+		if i == 0 {
+			b.ReportMetric(float64(t.LeafCount()), "leaves")
+		}
+	}
+}

@@ -93,6 +93,13 @@ func (t *Tree) evictWalkTrunk(r Ref, code morton.Code) (Ref, bool) {
 	return nr, nr != r
 }
 
+// constructCleanNow reports whether the working version is exactly the
+// output of a ConstructFromCodes with no mutation since (construct.go):
+// the only state in which Persist may skip the merge walk.
+func (t *Tree) constructCleanNow() bool {
+	return t.constructClean && t.mutSeq == t.constructSeq
+}
+
 // moveToNVBM relocates every DRAM-resident octant reachable from r into
 // NVBM, post-order, freeing the DRAM slots.
 //
@@ -191,7 +198,15 @@ func (t *Tree) Persist() int {
 		return t.persistAsync()
 	}
 	defer t.span("Persist").End()
-	t.cur = t.moveToNVBM(t.cur)
+	if t.constructCleanNow() {
+		// ConstructFromCodes just rebuilt the working version entirely in
+		// NVBM with exact parent links, and nothing mutated since: the
+		// merge walk would visit every octant to move nothing. Skip it.
+		t.constructClean = false
+	} else {
+		t.constructClean = false
+		t.cur = t.moveToNVBM(t.cur)
+	}
 	// The outgoing committed version enters the fallback ring before it is
 	// superseded; a crash inside pushHistory damages at most the ring's
 	// oldest entry, never the commit record.
@@ -239,7 +254,12 @@ func (t *Tree) persistAsync() int {
 	// the synchronous Persist would have hit the same device failure.
 	p.checkFailure()
 	p.beginStage()
-	t.cur = t.moveToNVBM(t.cur)
+	if t.constructCleanNow() {
+		t.constructClean = false // all-NVBM already: empty merge delta
+	} else {
+		t.constructClean = false
+		t.cur = t.moveToNVBM(t.cur)
+	}
 	delta := p.endStage()
 	bits, hw := t.nv.TakeDirtyBits(nil)
 	p.enqueue(&commitReq{root: t.cur, step: t.step, delta: delta, nv: t.nv, bits: bits, hw: hw})

@@ -203,6 +203,14 @@ type Tree struct {
 	markBits    []uint64
 	markScratch []Ref
 
+	// Bulk-construction boundary stamp (construct.go): when constructClean
+	// and the mutation sequence still equals constructSeq, the working
+	// version was just built by ConstructFromCodes — fully NVBM-resident
+	// with exact parent links — so Persist's merge walk is provably a
+	// no-op and is skipped. Any mutation in between invalidates the stamp.
+	constructClean bool
+	constructSeq   uint64
+
 	// pipe is the asynchronous persist pipeline (pipeline.go), nil when
 	// Config.PipelineDepth is 0 — every pipelined branch in the hot paths
 	// is a nil check, keeping the synchronous tree bit-identical.
@@ -227,6 +235,7 @@ type Tree struct {
 type OpStats struct {
 	Refines    int // leaf splits
 	Coarsens   int // sibling-group collapses
+	Constructs int // bulk tree constructions from Morton codes
 	Copies     int // COW octant copies
 	Merges     int // C0 subtree evictions to C1
 	Persists   int // committed versions
@@ -356,6 +365,7 @@ func (t *Tree) RegisterMetrics(r *telemetry.Registry, prefix string) {
 	}
 	r.RegisterFunc(prefix+".refines", func() float64 { return float64(t.stats.Refines) })
 	r.RegisterFunc(prefix+".coarsens", func() float64 { return float64(t.stats.Coarsens) })
+	r.RegisterFunc(prefix+".constructs", func() float64 { return float64(t.stats.Constructs) })
 	r.RegisterFunc(prefix+".copies", func() float64 { return float64(t.stats.Copies) })
 	r.RegisterFunc(prefix+".merges", func() float64 { return float64(t.stats.Merges) })
 	r.RegisterFunc(prefix+".persists", func() float64 { return float64(t.stats.Persists) })

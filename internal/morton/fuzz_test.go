@@ -8,6 +8,17 @@ func FuzzCodeRoundTrip(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(uint64(1<<63 - 1))
 	f.Add(uint64(0xdeadbeef))
+	// Boundary seeds: all-ones (max coordinates at whatever level the mask
+	// picks), the max-corner MaxLevel cell's key and raw code, the origin
+	// MaxLevel cell's raw code, and patterns landing exactly on the
+	// level-field edges of the mask.
+	f.Add(^uint64(0))
+	last := uint32(1)<<MaxLevel - 1
+	f.Add(uint64(Encode(last, last, last, MaxLevel)))
+	f.Add(Encode(last, last, last, MaxLevel).Key())
+	f.Add(uint64(Encode(0, 0, 0, MaxLevel)))
+	f.Add(uint64(MaxLevel))
+	f.Add(uint64(MaxLevel + 1))
 	f.Fuzz(func(t *testing.T, raw uint64) {
 		// Mask into a valid code: clamp the level and the morton bits.
 		level := uint8(raw % (MaxLevel + 1))

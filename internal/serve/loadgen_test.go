@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadgenScript(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "mix.json")
+	if err := os.WriteFile(p, []byte(`["/v1/point?x=0.5","/v1/region?x0=0"]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func loadgenHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+	return mux
+}
+
+// TestLoadgenOpenLoop: open-loop runs carry the arrival-schedule summary,
+// serve the full request budget across the class histograms, and track
+// the target rate; closed-loop runs don't grow the open_loop field.
+func TestLoadgenOpenLoop(t *testing.T) {
+	script := loadgenScript(t)
+	h := loadgenHandler()
+	for _, poisson := range []bool{false, true} {
+		doc, err := RunLoadgenOpts(h, script, LoadgenOptions{
+			Clients:  3,
+			Requests: 80,
+			Rate:     4000,
+			Poisson:  poisson,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.OpenLoop == nil {
+			t.Fatalf("poisson=%v: open-loop run has no open_loop stats", poisson)
+		}
+		if doc.OpenLoop.TargetRPS != 4000 || doc.OpenLoop.Poisson != poisson {
+			t.Fatalf("poisson=%v: open_loop = %+v", poisson, doc.OpenLoop)
+		}
+		if doc.OpenLoop.OfferedRPS <= 0 || doc.OpenLoop.ServedRPS <= 0 {
+			t.Fatalf("poisson=%v: degenerate rates: %+v", poisson, doc.OpenLoop)
+		}
+		var total uint64
+		for _, c := range doc.Classes {
+			total += c.Count
+		}
+		if total != 80 {
+			t.Fatalf("poisson=%v: %d responses measured, want 80", poisson, total)
+		}
+		if len(doc.Classes) != 2 {
+			t.Fatalf("poisson=%v: classes = %v, want point and region", poisson, doc.Classes)
+		}
+	}
+
+	closed, err := RunLoadgenOpts(h, script, LoadgenOptions{Clients: 2, Requests: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.OpenLoop != nil {
+		t.Fatalf("closed-loop run grew open_loop stats: %+v", closed.OpenLoop)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"pmoctree/internal/core"
+	"pmoctree/internal/morton"
+	"pmoctree/internal/parallel"
+)
+
+// meshImage snapshots (code, data) of every leaf in Z-order.
+func meshImage(m Mesh) []struct {
+	C morton.Code
+	D [DataWords]float64
+} {
+	var out []struct {
+		C morton.Code
+		D [DataWords]float64
+	}
+	m.ForEachLeaf(func(c morton.Code, d [DataWords]float64) bool {
+		out = append(out, struct {
+			C morton.Code
+			D [DataWords]float64
+		}{c, d})
+		return true
+	})
+	return out
+}
+
+// TestConstructInitialMatchesStep: the bulk start-up path must be a
+// drop-in replacement for the incremental first step — same mesh, same
+// fields, same StepCounts — and the simulation must continue identically
+// afterward, at any worker count.
+func TestConstructInitialMatchesStep(t *testing.T) {
+	d := NewDroplet(DropletConfig{Steps: 40})
+	const maxLevel = 5
+	pools := map[string]*parallel.Pool{
+		"serial":  nil,
+		"w4":      parallel.New(4),
+		"forced7": parallel.NewForced(7),
+	}
+	ref := core.Create(core.Config{})
+	refSC := StepFieldPool(ref, d, 1, maxLevel, nil)
+	ref.Persist()
+
+	for name, pool := range pools {
+		t.Run(name, func(t *testing.T) {
+			tr := core.Create(core.Config{})
+			sc, ok := ConstructInitial(tr, d, 1, maxLevel, pool)
+			if !ok {
+				t.Fatal("ConstructInitial declined a fresh PM-octree")
+			}
+			if sc != refSC {
+				t.Fatalf("StepCounts = %+v, want %+v", sc, refSC)
+			}
+			tr.Persist()
+			if !reflect.DeepEqual(meshImage(tr), meshImage(ref)) {
+				t.Fatal("constructed mesh differs from the incremental first step")
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// Continued stepping stays locked to the incremental path.
+	tr := core.Create(core.Config{})
+	if _, ok := ConstructInitial(tr, d, 1, maxLevel, parallel.New(4)); !ok {
+		t.Fatal("ConstructInitial declined")
+	}
+	tr.Persist()
+	for s := 2; s <= 4; s++ {
+		scA := StepFieldPool(ref, d, s, maxLevel, nil)
+		scB := StepFieldPool(tr, d, s, maxLevel, nil)
+		if scA != scB {
+			t.Fatalf("step %d counts diverged: %+v vs %+v", s, scA, scB)
+		}
+		ref.Persist()
+		tr.Persist()
+		if !reflect.DeepEqual(meshImage(tr), meshImage(ref)) {
+			t.Fatalf("step %d mesh diverged", s)
+		}
+	}
+}
+
+// TestConstructInitialDeclines: meshes without the bulk contract, and
+// meshes that already stepped, fall back to the incremental path.
+func TestConstructInitialDeclines(t *testing.T) {
+	d := NewDroplet(DropletConfig{Steps: 40})
+	if _, ok := ConstructInitial(NewInCore(nil), d, 1, 4, nil); ok {
+		t.Fatal("ConstructInitial accepted the in-core baseline")
+	}
+	tr := core.Create(core.Config{})
+	StepFieldPool(tr, d, 1, 4, nil)
+	tr.Persist()
+	if _, ok := ConstructInitial(tr, d, 2, 4, nil); ok {
+		t.Fatal("ConstructInitial accepted a non-fresh mesh")
+	}
+}

@@ -177,6 +177,16 @@ func StepPool(m AdaptiveMesh, w Workload, step int, maxLevel uint8, pool *Worker
 	return sim.StepFieldPool(m, w, step, maxLevel, pool)
 }
 
+// ConstructInitialStep is the scenario start-up fast path: on a fresh
+// PM-octree it builds the workload's step-s mesh — leaf set, 2:1 balance,
+// and solved fields — in one bulk construction instead of thousands of
+// incremental splits, bit-identical to StepPool of the same step. ok is
+// false (and the mesh untouched) when the mesh does not support bulk
+// construction or is not fresh; fall back to StepPool then.
+func ConstructInitialStep(m AdaptiveMesh, w Workload, step int, maxLevel uint8, pool *WorkerPool) (StepCounts, bool) {
+	return sim.ConstructInitial(m, w, step, maxLevel, pool)
+}
+
 // WorkerPool is the deterministic bounded worker pool behind every
 // parallel path (solver sweeps, advection, AMR predicate evaluation). A
 // nil *WorkerPool runs inline on the calling goroutine; reductions are
